@@ -1,0 +1,46 @@
+// Scaling regenerates the performance tables of the paper's evaluation
+// (Tables 2-5 and the §4.1 extended-run claims) from the calibrated machine
+// models and the real partitioner; see EXPERIMENTS.md for methodology.
+//
+// Usage:
+//
+//	go run ./cmd/scaling            # all tables
+//	go run ./cmd/scaling -table 3   # one table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nektarg/internal/perfmodel"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table to print (2-5), 0 = all plus extended runs")
+	flag.Parse()
+
+	run := func(n int) {
+		switch n {
+		case 2:
+			fmt.Println(perfmodel.Table2())
+		case 3:
+			fmt.Println(perfmodel.Table3())
+		case 4:
+			fmt.Println(perfmodel.Table4())
+		case 5:
+			fmt.Println(perfmodel.Table5())
+		default:
+			fmt.Fprintf(os.Stderr, "scaling: unknown table %d (want 2-5)\n", n)
+			os.Exit(2)
+		}
+	}
+	if *table != 0 {
+		run(*table)
+		return
+	}
+	for _, n := range []int{2, 3, 4, 5} {
+		run(n)
+	}
+	fmt.Println(perfmodel.ExtendedWeakScaling())
+}

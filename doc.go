@@ -1,0 +1,19 @@
+// Package nektarg is a from-scratch Go reproduction of "A new computational
+// paradigm in multiscale simulations with applications to brain blood flow"
+// (Grinberg, Morozov, Fedosov, Insley, Papka, Kumaran, Karniadakis; SC 2011):
+// the NεκTαrG metasolver coupling a spectral-element Navier-Stokes solver
+// (internal/nektar3d), a 1D arterial-network solver (internal/nektar1d) and a
+// dissipative-particle-dynamics engine with red-blood-cell and platelet
+// models (internal/dpd, internal/rbc, internal/platelet), glued by the
+// Multilevel Communicating Interface (internal/mci) over an in-process
+// message-passing runtime (internal/mpi), with window-POD post-processing
+// (internal/wpod) and calibrated machine replays of the paper's scaling
+// studies (internal/perfmodel).
+//
+// See README.md for a guide, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the per-table/figure reproduction record. The
+// bench_test.go file in this directory regenerates every table and figure:
+//
+//	go test -bench=. -benchmem
+//	go test -run 'TestTable|TestFigure' -v
+package nektarg

@@ -1,0 +1,3 @@
+module nektarg
+
+go 1.22

@@ -1,0 +1,306 @@
+// Package config builds coupled simulations from declarative JSON — the
+// production front door a downstream user drives NεκTαrG with instead of
+// writing Go. A config names continuum patches, their couplings, embedded
+// DPD regions (with optional platelet models) and the exchange schedule;
+// Build wires the same structures the examples assemble by hand.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"nektarg/internal/core"
+	"nektarg/internal/dpd"
+	"nektarg/internal/geometry"
+	"nektarg/internal/nektar3d"
+	"nektarg/internal/platelet"
+)
+
+// Vec is a 3-vector in JSON array form.
+type Vec [3]float64
+
+func (v Vec) vec3() geometry.Vec3 { return geometry.Vec3{X: v[0], Y: v[1], Z: v[2]} }
+
+// Patch describes one continuum solver instance.
+type Patch struct {
+	Name     string  `json:"name"`
+	Origin   Vec     `json:"origin"`
+	Elements [3]int  `json:"elements"`
+	Order    int     `json:"order"`
+	Size     Vec     `json:"size"`
+	Periodic [3]bool `json:"periodic"`
+	Nu       float64 `json:"nu"`
+	Dt       float64 `json:"dt"`
+	// Force is a constant body force.
+	Force Vec `json:"force"`
+	// Initial selects a named initial/boundary profile: "rest" or
+	// "poiseuille" (u = z(1-z) with matching Dirichlet data).
+	Initial string `json:"initial"`
+	// TimeOrder selects the stiffly stable integration order (default 1).
+	TimeOrder int `json:"timeOrder"`
+}
+
+// Coupling links a donor patch to a receiver face.
+type Coupling struct {
+	Donor    string `json:"donor"`
+	Receiver string `json:"receiver"`
+	Face     string `json:"face"`
+}
+
+// Units mirrors core.Units.
+type Units struct {
+	L  float64 `json:"l"`
+	Nu float64 `json:"nu"`
+}
+
+// Platelets configures the thrombus model of a region.
+type Platelets struct {
+	Count int     `json:"count"`
+	Delay float64 `json:"delay"`
+	Sites []Vec   `json:"sites"`
+	// SeedBox gives the [lo, hi] corners of the seeding region.
+	SeedBox [2]Vec `json:"seedBox"`
+}
+
+// Region describes one embedded DPD domain.
+type Region struct {
+	Name      string  `json:"name"`
+	Origin    Vec     `json:"origin"`
+	Box       Vec     `json:"box"`
+	Particles int     `json:"particles"`
+	Rho       float64 `json:"rho"`
+	KBT       float64 `json:"kbt"`
+	Dt        float64 `json:"dt"`
+	Seed      uint64  `json:"seed"`
+	// Walls selects a preset: "" or "none" (fully open in x, periodic
+	// y/z), "zslab" (no-slip walls at z = 0 and z = box.z).
+	Walls string `json:"walls"`
+	// Units and scale-up for the Eq. 1 coupling.
+	NSUnits  Units   `json:"nsUnits"`
+	DPDUnits Units   `json:"dpdUnits"`
+	Boost    float64 `json:"boost"`
+	// InterfaceDivisions triangulates the inflow face (default 3x3).
+	InterfaceDivisions int        `json:"interfaceDivisions"`
+	Platelets          *Platelets `json:"platelets"`
+}
+
+// Exchange sets the time progression.
+type Exchange struct {
+	NSSteps  int `json:"nsSteps"`  // per exchange period (default 10)
+	DPDPerNS int `json:"dpdPerNs"` // DPD steps per NS step (default 20)
+}
+
+// Config is the full declarative simulation description.
+type Config struct {
+	Patches   []Patch    `json:"patches"`
+	Couplings []Coupling `json:"couplings"`
+	Regions   []Region   `json:"regions"`
+	Exchange  Exchange   `json:"exchange"`
+}
+
+// Load parses a JSON config, rejecting unknown fields.
+func Load(r io.Reader) (*Config, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var c Config
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return &c, nil
+}
+
+// Built bundles the constructed simulation with name lookups and the models
+// that need post-construction access.
+type Built struct {
+	Meta      *core.Metasolver
+	Patches   map[string]*core.ContinuumPatch
+	Regions   map[string]*core.AtomisticRegion
+	Platelets map[string]*platelet.Model
+}
+
+// Build constructs the metasolver described by the config.
+func (c *Config) Build() (*Built, error) {
+	if len(c.Patches) == 0 {
+		return nil, fmt.Errorf("config: no patches")
+	}
+	b := &Built{
+		Meta:      core.NewMetasolver(),
+		Patches:   map[string]*core.ContinuumPatch{},
+		Regions:   map[string]*core.AtomisticRegion{},
+		Platelets: map[string]*platelet.Model{},
+	}
+	if c.Exchange.NSSteps > 0 {
+		b.Meta.NSStepsPerExchange = c.Exchange.NSSteps
+	}
+	if c.Exchange.DPDPerNS > 0 {
+		b.Meta.DPDStepsPerNS = c.Exchange.DPDPerNS
+	}
+
+	for _, pc := range c.Patches {
+		if pc.Name == "" {
+			return nil, fmt.Errorf("config: unnamed patch")
+		}
+		if _, dup := b.Patches[pc.Name]; dup {
+			return nil, fmt.Errorf("config: duplicate patch %q", pc.Name)
+		}
+		patch, err := buildPatch(pc)
+		if err != nil {
+			return nil, fmt.Errorf("config: patch %q: %w", pc.Name, err)
+		}
+		b.Patches[pc.Name] = patch
+		b.Meta.Patches = append(b.Meta.Patches, patch)
+	}
+
+	for _, cc := range c.Couplings {
+		donor, ok := b.Patches[cc.Donor]
+		if !ok {
+			return nil, fmt.Errorf("config: coupling donor %q unknown", cc.Donor)
+		}
+		recv, ok := b.Patches[cc.Receiver]
+		if !ok {
+			return nil, fmt.Errorf("config: coupling receiver %q unknown", cc.Receiver)
+		}
+		switch cc.Face {
+		case "x0", "x1", "y0", "y1", "z0", "z1":
+		default:
+			return nil, fmt.Errorf("config: coupling face %q invalid", cc.Face)
+		}
+		b.Meta.Couplings = append(b.Meta.Couplings, &core.PatchCoupling{
+			Donor: donor, Receiver: recv, Face: cc.Face,
+		})
+	}
+
+	for _, rc := range c.Regions {
+		if rc.Name == "" {
+			return nil, fmt.Errorf("config: unnamed region")
+		}
+		if _, dup := b.Regions[rc.Name]; dup {
+			return nil, fmt.Errorf("config: duplicate region %q", rc.Name)
+		}
+		region, model, err := buildRegion(rc)
+		if err != nil {
+			return nil, fmt.Errorf("config: region %q: %w", rc.Name, err)
+		}
+		b.Regions[rc.Name] = region
+		b.Meta.Atomistic = append(b.Meta.Atomistic, region)
+		if model != nil {
+			b.Platelets[rc.Name] = model
+		}
+	}
+	return b, nil
+}
+
+func buildPatch(pc Patch) (*core.ContinuumPatch, error) {
+	if pc.Order < 2 {
+		return nil, fmt.Errorf("order %d < 2", pc.Order)
+	}
+	g := nektar3d.NewGrid(pc.Elements[0], pc.Elements[1], pc.Elements[2], pc.Order,
+		pc.Size[0], pc.Size[1], pc.Size[2], pc.Periodic[0], pc.Periodic[1], pc.Periodic[2])
+	s := nektar3d.NewSolver(g, pc.Nu, pc.Dt)
+	if pc.TimeOrder > 0 {
+		s.Order = pc.TimeOrder
+	}
+	f := pc.Force
+	if f != (Vec{}) {
+		s.Force = func(_, _, _, _ float64) (float64, float64, float64) {
+			return f[0], f[1], f[2]
+		}
+	}
+	switch pc.Initial {
+	case "", "rest":
+	case "poiseuille":
+		prof := func(x, y, z float64) (float64, float64, float64) { return z * (1 - z), 0, 0 }
+		s.SetInitial(prof)
+		s.VelBC = func(_, x, y, z float64) (float64, float64, float64) { return prof(x, y, z) }
+	default:
+		return nil, fmt.Errorf("unknown initial profile %q", pc.Initial)
+	}
+	return core.NewContinuumPatch(pc.Name, s, pc.Origin.vec3()), nil
+}
+
+func buildRegion(rc Region) (*core.AtomisticRegion, *platelet.Model, error) {
+	nspecies := 1
+	if rc.Platelets != nil {
+		nspecies = 2
+	}
+	params := dpd.DefaultParams(nspecies)
+	if rc.Dt > 0 {
+		params.Dt = rc.Dt
+	}
+	if rc.KBT > 0 {
+		params.KBT = rc.KBT
+	}
+	if rc.Seed != 0 {
+		params.Seed = rc.Seed
+	}
+	rho := rc.Rho
+	if rho <= 0 {
+		rho = 3
+	}
+	box := rc.Box.vec3()
+	periodic := [3]bool{false, true, true}
+	var walls []dpd.Wall
+	switch rc.Walls {
+	case "", "none":
+	case "zslab":
+		periodic[2] = false
+		walls = []dpd.Wall{
+			&dpd.PlaneWall{Point: geometry.Vec3{}, Norm: geometry.Vec3{Z: 1}},
+			&dpd.PlaneWall{Point: geometry.Vec3{Z: box.Z}, Norm: geometry.Vec3{Z: -1}},
+		}
+	default:
+		return nil, nil, fmt.Errorf("unknown wall preset %q", rc.Walls)
+	}
+	sys := dpd.NewSystem(params, geometry.Vec3{}, box, periodic)
+	sys.Walls = walls
+	n := rc.Particles
+	if n <= 0 {
+		n = int(rho * box.X * box.Y * box.Z)
+	}
+	sys.FillRandom(n, 0)
+	inflow := &dpd.FluxBC{Axis: 0, AtMax: false, Rho: rho}
+	outflow := &dpd.FluxBC{Axis: 0, AtMax: true, Rho: rho}
+	sys.Inflows = []*dpd.FluxBC{inflow, outflow}
+
+	var model *platelet.Model
+	if rc.Platelets != nil {
+		p := rc.Platelets
+		if len(p.Sites) == 0 {
+			return nil, nil, fmt.Errorf("platelets need adhesion sites")
+		}
+		sites := make([]geometry.Vec3, len(p.Sites))
+		for i, sv := range p.Sites {
+			sites[i] = sv.vec3()
+		}
+		model = platelet.NewModel(1, sites, p.Delay)
+		sys.Bonded = append(sys.Bonded, model)
+		rng := rand.New(rand.NewSource(int64(params.Seed)))
+		platelet.SeedPlatelets(sys, model, p.Count, p.SeedBox[0].vec3(), p.SeedBox[1].vec3(), rng.Float64)
+	}
+
+	div := rc.InterfaceDivisions
+	if div <= 0 {
+		div = 3
+	}
+	surf := geometry.PlanarRect("gammaIn", geometry.Vec3{},
+		geometry.Vec3{Y: box.Y}, geometry.Vec3{Z: box.Z}, div, div)
+	region := &core.AtomisticRegion{
+		Name:          rc.Name,
+		Sys:           sys,
+		Origin:        rc.Origin.vec3(),
+		NSUnits:       core.Units{L: rc.NSUnits.L, Nu: rc.NSUnits.Nu},
+		DPDUnits:      core.Units{L: rc.DPDUnits.L, Nu: rc.DPDUnits.Nu},
+		VelocityBoost: rc.Boost,
+		Interfaces:    []*geometry.Surface{surf},
+		FluxFaces:     []*dpd.FluxBC{inflow},
+	}
+	if err := region.NSUnits.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("nsUnits: %w", err)
+	}
+	if err := region.DPDUnits.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("dpdUnits: %w", err)
+	}
+	return region, model, nil
+}

@@ -1,0 +1,118 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+const validJSON = `{
+  "patches": [
+    {"name": "feed", "origin": [0,0,0], "elements": [3,1,2], "order": 4,
+     "size": [1.5,1,1], "periodic": [false,true,false],
+     "nu": 0.5, "dt": 0.01, "force": [1,0,0], "initial": "poiseuille",
+     "timeOrder": 2},
+    {"name": "distal", "origin": [1,0,0], "elements": [3,1,2], "order": 4,
+     "size": [1.5,1,1], "periodic": [false,true,false],
+     "nu": 0.5, "dt": 0.01, "force": [1,0,0], "initial": "poiseuille"}
+  ],
+  "couplings": [
+    {"donor": "feed", "receiver": "distal", "face": "x0"},
+    {"donor": "distal", "receiver": "feed", "face": "x1"}
+  ],
+  "regions": [
+    {"name": "insert", "origin": [1.6,0.4,0.05], "box": [8,8,8],
+     "particles": 600, "rho": 3, "kbt": 0.2, "dt": 0.005, "seed": 7,
+     "walls": "zslab",
+     "nsUnits": {"l": 1e-3, "nu": 0.5}, "dpdUnits": {"l": 2e-5, "nu": 0.2},
+     "boost": 120,
+     "platelets": {"count": 10, "delay": 0.1,
+       "sites": [[4,4,0.3]],
+       "seedBox": [[0.5,0.5,0.3],[7.5,7.5,2]]}}
+  ],
+  "exchange": {"nsSteps": 5, "dpdPerNs": 10}
+}`
+
+func TestLoadAndBuildValidConfig(t *testing.T) {
+	c, err := Load(strings.NewReader(validJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Meta.Patches) != 2 || len(b.Meta.Couplings) != 2 || len(b.Meta.Atomistic) != 1 {
+		t.Fatalf("built %d patches, %d couplings, %d regions",
+			len(b.Meta.Patches), len(b.Meta.Couplings), len(b.Meta.Atomistic))
+	}
+	if b.Meta.NSStepsPerExchange != 5 || b.Meta.DPDStepsPerNS != 10 {
+		t.Fatalf("exchange schedule %d/%d", b.Meta.NSStepsPerExchange, b.Meta.DPDStepsPerNS)
+	}
+	if b.Patches["feed"].Solver.Order != 2 {
+		t.Fatalf("time order = %d", b.Patches["feed"].Solver.Order)
+	}
+	if b.Platelets["insert"] == nil {
+		t.Fatal("platelet model missing")
+	}
+	// The built simulation must actually run.
+	if err := b.Meta.Advance(1); err != nil {
+		t.Fatal(err)
+	}
+	if b.Patches["feed"].Solver.Steps != 5 {
+		t.Fatalf("steps = %d", b.Patches["feed"].Solver.Steps)
+	}
+	if b.Regions["insert"].Sys.Step != 50 {
+		t.Fatalf("dpd steps = %d", b.Regions["insert"].Sys.Step)
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"patchez": []}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func mustBuildErr(t *testing.T, mutate func(*Config)) {
+	t.Helper()
+	c, err := Load(strings.NewReader(validJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate(c)
+	if _, err := c.Build(); err == nil {
+		t.Fatal("expected build error")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	mustBuildErr(t, func(c *Config) { c.Patches = nil })
+	mustBuildErr(t, func(c *Config) { c.Patches[0].Name = "" })
+	mustBuildErr(t, func(c *Config) { c.Patches[1].Name = "feed" })
+	mustBuildErr(t, func(c *Config) { c.Patches[0].Order = 1 })
+	mustBuildErr(t, func(c *Config) { c.Patches[0].Initial = "vortex" })
+	mustBuildErr(t, func(c *Config) { c.Couplings[0].Donor = "ghost" })
+	mustBuildErr(t, func(c *Config) { c.Couplings[0].Face = "q9" })
+	mustBuildErr(t, func(c *Config) { c.Regions[0].Walls = "dome" })
+	mustBuildErr(t, func(c *Config) { c.Regions[0].Platelets.Sites = nil })
+	mustBuildErr(t, func(c *Config) { c.Regions[0].NSUnits.L = 0 })
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c, err := Load(strings.NewReader(`{
+	  "patches": [{"name":"p","origin":[0,0,0],"elements":[1,1,1],"order":2,
+	    "size":[1,1,1],"periodic":[true,true,true],"nu":0.1,"dt":0.01}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Meta.NSStepsPerExchange != 10 || b.Meta.DPDStepsPerNS != 20 {
+		t.Fatalf("default schedule %d/%d", b.Meta.NSStepsPerExchange, b.Meta.DPDStepsPerNS)
+	}
+	if b.Patches["p"].Solver.Order != 1 {
+		t.Fatalf("default time order %d", b.Patches["p"].Solver.Order)
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"math"
+
+	"nektarg/internal/geometry"
+	"nektarg/internal/nektar3d"
+)
+
+// BCTable composes Dirichlet velocity boundary data for one continuum patch
+// from multiple sources: per-face interface traces received from coupled
+// patches plus a fallback function (physical walls, inlets). It produces the
+// nektar3d.BCFunc the solver queries each step.
+type BCTable struct {
+	entries  map[[3]int64][3]float64
+	fallback nektar3d.BCFunc
+}
+
+// NewBCTable creates a table with the given fallback (nil means no-slip).
+func NewBCTable(fallback nektar3d.BCFunc) *BCTable {
+	return &BCTable{
+		entries:  map[[3]int64][3]float64{},
+		fallback: fallback,
+	}
+}
+
+// quantize keys boundary nodes robustly against float noise.
+func quantize(p geometry.Vec3) [3]int64 {
+	const s = 1e9
+	return [3]int64{
+		int64(math.Round(p.X * s)),
+		int64(math.Round(p.Y * s)),
+		int64(math.Round(p.Z * s)),
+	}
+}
+
+// SetFace stores velocity values for the given points (from
+// Grid.FacePoints order).
+func (b *BCTable) SetFace(points []geometry.Vec3, u, v, w []float64) {
+	if len(u) != len(points) || len(v) != len(points) || len(w) != len(points) {
+		panic("core: BCTable.SetFace length mismatch")
+	}
+	for i, p := range points {
+		b.entries[quantize(p)] = [3]float64{u[i], v[i], w[i]}
+	}
+}
+
+// Func returns the composite BCFunc.
+func (b *BCTable) Func() nektar3d.BCFunc {
+	return func(t, x, y, z float64) (float64, float64, float64) {
+		if v, ok := b.entries[quantize(geometry.Vec3{X: x, Y: y, Z: z})]; ok {
+			return v[0], v[1], v[2]
+		}
+		if b.fallback != nil {
+			return b.fallback(t, x, y, z)
+		}
+		return 0, 0, 0
+	}
+}

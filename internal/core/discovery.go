@@ -1,0 +1,87 @@
+package core
+
+import (
+	"sort"
+
+	"nektarg/internal/geometry"
+	"nektarg/internal/mpi"
+)
+
+// The coupling handshake of §3.3, run over the message-passing runtime:
+//
+//  1. the processors of ΩA mapped to partitions intersecting ΓI form an L4
+//     sub-communicator (mci.NewInterfaceGroup);
+//  2. the coordinates of the triangle midpoints are sent from the L3 root of
+//     ΩA to the L3 roots of each continuum domain ΩC_i;
+//  3. each continuum root reports back which midpoints fall inside its
+//     domain; owners derive L4 groups and the L4-root pair carries all
+//     subsequent interface traffic.
+//
+// DiscoverOwners implements steps 2-3 from the atomistic side and
+// RespondOwnership from each continuum side.
+
+// Tags for the handshake, above the mci exchange tag space.
+const (
+	tagProbe = 1 << 18
+	tagReply = 1<<18 + 1
+)
+
+// ownershipReply is a continuum root's answer: the indices of the probed
+// centroids its domain contains.
+type ownershipReply struct {
+	Owned []int
+}
+
+// DiscoverOwners runs on the L3 root of the atomistic domain: it sends the
+// centroid list to every continuum L3 root (given by world rank) and collects
+// the owned index sets. The result maps each continuum root to the sorted
+// centroid indices it owns; centroids owned by several domains go to the
+// lowest-ranked owner, and the second return lists orphans.
+func DiscoverOwners(world *mpi.Comm, centroids []geometry.Vec3, continuumRoots []int) (map[int][]int, []int) {
+	for _, r := range continuumRoots {
+		world.Send(r, tagProbe, centroids)
+	}
+	claimed := make(map[int]int) // centroid -> owning root
+	roots := append([]int(nil), continuumRoots...)
+	sort.Ints(roots)
+	replies := map[int]ownershipReply{}
+	for _, r := range continuumRoots {
+		replies[r] = world.Recv(r, tagReply).(ownershipReply)
+	}
+	for _, r := range roots { // lowest rank wins ties
+		for _, idx := range replies[r].Owned {
+			if _, taken := claimed[idx]; !taken {
+				claimed[idx] = r
+			}
+		}
+	}
+	out := map[int][]int{}
+	for idx, r := range claimed {
+		out[r] = append(out[r], idx)
+	}
+	for _, lst := range out {
+		sort.Ints(lst)
+	}
+	var orphans []int
+	for i := range centroids {
+		if _, ok := claimed[i]; !ok {
+			orphans = append(orphans, i)
+		}
+	}
+	return out, orphans
+}
+
+// RespondOwnership runs on a continuum L3 root: it receives the centroid
+// probe from the atomistic root and reports back the indices its domain
+// contains ("the L3 roots of continuum domains not overlapping with ΓI
+// report back ... that coordinates of T are not within the boundaries").
+func RespondOwnership(world *mpi.Comm, atomisticRoot int, contains func(geometry.Vec3) bool) {
+	centroids := world.Recv(atomisticRoot, tagProbe).([]geometry.Vec3)
+	var owned []int
+	for i, c := range centroids {
+		if contains(c) {
+			owned = append(owned, i)
+		}
+	}
+	world.Send(atomisticRoot, tagReply, ownershipReply{Owned: owned})
+}

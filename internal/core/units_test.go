@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVelocityScalePaperValues(t *testing.T) {
+	// L_NS = 1 mm, L_DPD = 5 µm; equal viscosities: a physical length has a
+	// 200x larger value in DPD units, so the Re-preserving velocity is 200x
+	// smaller.
+	ns := Units{L: 1e-3, Nu: 0.1}
+	dp := Units{L: 5e-6, Nu: 0.1}
+	got := VelocityScale(ns, dp)
+	if math.Abs(got-5e-6/1e-3) > 1e-15 {
+		t.Fatalf("scale = %v want %v", got, 5e-6/1e-3)
+	}
+}
+
+func TestReynoldsPreservedAcrossScaling(t *testing.T) {
+	f := func(vRaw, xRaw uint16) bool {
+		v := 0.1 + float64(vRaw)/1000
+		x := 0.1 + float64(xRaw)/1000
+		ns := Units{L: 1e-3, Nu: 0.04}
+		dp := Units{L: 5e-6, Nu: 0.15}
+		reNS := Reynolds(ns, v, x)
+		vD := v * VelocityScale(ns, dp)
+		xD := x * LengthScale(ns, dp)
+		reDPD := Reynolds(dp, vD, xD)
+		return math.Abs(reNS-reDPD) < 1e-9*(1+reNS)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalingRoundTrips(t *testing.T) {
+	a := Units{L: 2e-3, Nu: 0.3}
+	b := Units{L: 7e-6, Nu: 0.05}
+	if v := VelocityScale(a, b) * VelocityScale(b, a); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("velocity round trip = %v", v)
+	}
+	if v := LengthScale(a, b) * LengthScale(b, a); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("length round trip = %v", v)
+	}
+	if v := TimeScale(a, b) * TimeScale(b, a); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("time round trip = %v", v)
+	}
+}
+
+func TestTimeScaleMatchesL2OverNu(t *testing.T) {
+	a := Units{L: 1e-3, Nu: 0.1}
+	b := Units{L: 5e-6, Nu: 0.2}
+	want := math.Pow(a.L/b.L, 2) * (a.Nu / b.Nu)
+	if got := TimeScale(a, b); math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("time scale = %v want %v", got, want)
+	}
+}
+
+func TestIdentityScaling(t *testing.T) {
+	u := Units{L: 1e-3, Nu: 0.1}
+	if VelocityScale(u, u) != 1 || LengthScale(u, u) != 1 || TimeScale(u, u) != 1 {
+		t.Fatal("self-scaling must be identity")
+	}
+}
+
+func TestUnitsValidate(t *testing.T) {
+	if (Units{L: 1, Nu: 1}).Validate() != nil {
+		t.Fatal("valid units rejected")
+	}
+	if (Units{L: 0, Nu: 1}).Validate() == nil {
+		t.Fatal("zero L accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	VelocityScale(Units{}, Units{L: 1, Nu: 1})
+}
+
+func TestWomersleyPreservedAcrossScaling(t *testing.T) {
+	// Matching velocity/length/time scales preserves Ws = R sqrt(omega/nu)
+	// just like Re.
+	ns := Units{L: 1e-3, Nu: 0.04}
+	dp := Units{L: 5e-6, Nu: 0.15}
+	omega, radius := 2.1, 0.8
+	wsNS := Womersley(ns, omega, radius)
+	// omega scales inversely with time, radius with length.
+	wsDPD := Womersley(dp, omega/TimeScale(ns, dp), radius*LengthScale(ns, dp))
+	if math.Abs(wsNS-wsDPD)/wsNS > 1e-12 {
+		t.Fatalf("Ws not preserved: %v vs %v", wsNS, wsDPD)
+	}
+}
+
+func TestWomersleyPaperValue(t *testing.T) {
+	// Re = 394 and Ws = 3.7 are simultaneously representable: for a vessel
+	// radius R and pulsation omega in continuum units the numbers are
+	// independent knobs; sanity-check magnitudes for a 2.5 mm radius
+	// vessel at 1 Hz with blood viscosity.
+	u := Units{L: 1e-3, Nu: 3.3} // mm units, nu in mm^2/s
+	ws := Womersley(u, 2*math.Pi, 2.5)
+	if ws < 2 || ws > 6 {
+		t.Fatalf("physiological Ws = %v, expected the paper's ~3.7 ballpark", ws)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Womersley(u, -1, 1)
+}

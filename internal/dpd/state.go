@@ -1,0 +1,50 @@
+package dpd
+
+import (
+	"fmt"
+
+	"nektarg/internal/geometry"
+)
+
+// State is the serializable part of a System: everything needed to resume a
+// run. Behavioral hooks (walls, bonded forces, external forcing, flux-face
+// profiles) are code, not data — the caller re-attaches them after Restore.
+// Because pairwise random forces are counter-based (seed, step, particle
+// ids), a restored closed system continues bit-identically.
+type State struct {
+	Params    Params
+	Lo, Hi    geometry.Vec3
+	Periodic  [3]bool
+	Particles []Particle
+	Step      int
+	Time      float64
+	NextID    int64
+}
+
+// CaptureState deep-copies the resumable state.
+func (s *System) CaptureState() State {
+	return State{
+		Params:    s.Params,
+		Lo:        s.Lo,
+		Hi:        s.Hi,
+		Periodic:  s.Periodic,
+		Particles: append([]Particle(nil), s.Particles...),
+		Step:      s.Step,
+		Time:      s.Time,
+		NextID:    s.nextID,
+	}
+}
+
+// RestoreState creates a fresh System from a captured state. Hooks (Walls,
+// Bonded, External, Inflows) start empty.
+func RestoreState(st State) (*System, error) {
+	if err := st.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("dpd: restoring: %w", err)
+	}
+	sys := NewSystem(st.Params, st.Lo, st.Hi, st.Periodic)
+	sys.Particles = append([]Particle(nil), st.Particles...)
+	sys.Step = st.Step
+	sys.Time = st.Time
+	sys.nextID = st.NextID
+	return sys, nil
+}

@@ -1,0 +1,454 @@
+package dpd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"nektarg/internal/geometry"
+)
+
+// Particle is one DPD particle. Mass is 1 in DPD units.
+type Particle struct {
+	Pos, Vel, F geometry.Vec3
+	Species     int
+	ID          int64
+	// Frozen particles (wall material) exert forces but do not move.
+	Frozen bool
+}
+
+// BondedForce adds intra-molecule forces (springs, bending, area/volume
+// constraints); RBC membranes and platelet adhesion plug in through it.
+type BondedForce interface {
+	// AddForces accumulates forces into sys.Particles[i].F.
+	AddForces(sys *System)
+}
+
+// ExternalForce supplies a per-particle body force (e.g. the time-periodic
+// pipe driving force of Figure 8).
+type ExternalForce func(t float64, p *Particle) geometry.Vec3
+
+// Wall imposes no-slip solid boundaries; see boundaries.go.
+type Wall interface {
+	// Distance returns the signed distance from pos to the wall surface,
+	// positive on the fluid side.
+	Distance(pos geometry.Vec3) float64
+	// Normal returns the inward (into-fluid) unit normal at the closest
+	// surface point.
+	Normal(pos geometry.Vec3) geometry.Vec3
+	// Velocity returns the wall velocity at the closest surface point.
+	Velocity(pos geometry.Vec3) geometry.Vec3
+}
+
+// System is one DPD domain ΩA.
+type System struct {
+	Params
+	Lo, Hi   geometry.Vec3
+	Periodic [3]bool
+
+	Particles []Particle
+
+	Bonded   []BondedForce
+	External ExternalForce
+	Walls    []Wall
+	Inflows  []*FluxBC
+
+	Step int
+	Time float64
+
+	nextID int64
+	rng    *rand.Rand
+
+	// cell list scratch
+	ncell   [3]int
+	cellLen [3]float64
+	heads   []int32
+	next    []int32
+
+	// Parallel controls the number of force-evaluation workers; 0 means
+	// GOMAXPROCS.
+	Parallel int
+}
+
+// NewSystem builds an empty domain.
+func NewSystem(p Params, lo, hi geometry.Vec3, periodic [3]bool) *System {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	size := hi.Sub(lo)
+	if size.X <= 0 || size.Y <= 0 || size.Z <= 0 {
+		panic(fmt.Sprintf("dpd: empty box %v..%v", lo, hi))
+	}
+	return &System{
+		Params: p, Lo: lo, Hi: hi, Periodic: periodic,
+		rng: rand.New(rand.NewSource(int64(p.Seed))),
+	}
+}
+
+// Size returns the box edge lengths.
+func (s *System) Size() geometry.Vec3 { return s.Hi.Sub(s.Lo) }
+
+// Volume returns the box volume.
+func (s *System) Volume() float64 {
+	sz := s.Size()
+	return sz.X * sz.Y * sz.Z
+}
+
+// AddParticle appends a particle and returns its index.
+func (s *System) AddParticle(pos, vel geometry.Vec3, species int, frozen bool) int {
+	if species < 0 || species >= len(s.A) {
+		panic(fmt.Sprintf("dpd: species %d of %d", species, len(s.A)))
+	}
+	s.Particles = append(s.Particles, Particle{
+		Pos: pos, Vel: vel, Species: species, ID: s.nextID, Frozen: frozen,
+	})
+	s.nextID++
+	return len(s.Particles) - 1
+}
+
+// FillRandom populates the box with n fluid particles of the given species at
+// rest plus Maxwellian velocities for temperature kBT.
+func (s *System) FillRandom(n, species int) {
+	sz := s.Size()
+	sd := math.Sqrt(s.KBT)
+	for i := 0; i < n; i++ {
+		pos := geometry.Vec3{
+			X: s.Lo.X + s.rng.Float64()*sz.X,
+			Y: s.Lo.Y + s.rng.Float64()*sz.Y,
+			Z: s.Lo.Z + s.rng.Float64()*sz.Z,
+		}
+		vel := geometry.Vec3{
+			X: s.rng.NormFloat64() * sd,
+			Y: s.rng.NormFloat64() * sd,
+			Z: s.rng.NormFloat64() * sd,
+		}
+		s.AddParticle(pos, vel, species, false)
+	}
+}
+
+// minimumImage returns the displacement a-b under periodic wrapping.
+func (s *System) minimumImage(a, b geometry.Vec3) geometry.Vec3 {
+	d := a.Sub(b)
+	sz := s.Size()
+	if s.Periodic[0] {
+		d.X -= sz.X * math.Round(d.X/sz.X)
+	}
+	if s.Periodic[1] {
+		d.Y -= sz.Y * math.Round(d.Y/sz.Y)
+	}
+	if s.Periodic[2] {
+		d.Z -= sz.Z * math.Round(d.Z/sz.Z)
+	}
+	return d
+}
+
+// buildCells refreshes the linked-cell list.
+func (s *System) buildCells() {
+	sz := s.Size()
+	dims := [3]float64{sz.X, sz.Y, sz.Z}
+	for d := 0; d < 3; d++ {
+		s.ncell[d] = int(dims[d] / s.Rc)
+		if s.ncell[d] < 1 {
+			s.ncell[d] = 1
+		}
+		s.cellLen[d] = dims[d] / float64(s.ncell[d])
+	}
+	ntot := s.ncell[0] * s.ncell[1] * s.ncell[2]
+	if cap(s.heads) < ntot {
+		s.heads = make([]int32, ntot)
+	}
+	s.heads = s.heads[:ntot]
+	for i := range s.heads {
+		s.heads[i] = -1
+	}
+	if cap(s.next) < len(s.Particles) {
+		s.next = make([]int32, len(s.Particles))
+	}
+	s.next = s.next[:len(s.Particles)]
+	for i := range s.Particles {
+		c := s.cellOf(s.Particles[i].Pos)
+		s.next[i] = s.heads[c]
+		s.heads[c] = int32(i)
+	}
+}
+
+func (s *System) cellOf(pos geometry.Vec3) int {
+	rel := pos.Sub(s.Lo)
+	coords := [3]float64{rel.X, rel.Y, rel.Z}
+	var c [3]int
+	for d := 0; d < 3; d++ {
+		c[d] = int(coords[d] / s.cellLen[d])
+		if c[d] < 0 {
+			c[d] = 0
+		}
+		if c[d] >= s.ncell[d] {
+			c[d] = s.ncell[d] - 1
+		}
+	}
+	return c[0] + s.ncell[0]*(c[1]+s.ncell[1]*c[2])
+}
+
+// ComputeForces evaluates all forces into Particles[i].F. Pairwise forces are
+// computed in parallel over cell strips with per-worker accumulation buffers
+// and counter-based random numbers, so results are deterministic regardless
+// of worker count.
+func (s *System) ComputeForces() {
+	n := len(s.Particles)
+	for i := range s.Particles {
+		s.Particles[i].F = geometry.Vec3{}
+	}
+	s.buildCells()
+
+	nw := s.Parallel
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw > s.ncell[2] {
+		nw = s.ncell[2]
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	type job struct{ z0, z1 int }
+	jobs := make([]job, 0, nw)
+	per := (s.ncell[2] + nw - 1) / nw
+	for z := 0; z < s.ncell[2]; z += per {
+		z1 := z + per
+		if z1 > s.ncell[2] {
+			z1 = s.ncell[2]
+		}
+		jobs = append(jobs, job{z, z1})
+	}
+
+	buffers := make([][]geometry.Vec3, len(jobs))
+	var wg sync.WaitGroup
+	for w := range jobs {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]geometry.Vec3, n)
+			buffers[w] = buf
+			s.forcesInStrip(jobs[w].z0, jobs[w].z1, buf)
+		}(w)
+	}
+	wg.Wait()
+	for _, buf := range buffers {
+		for i := range buf {
+			s.Particles[i].F = s.Particles[i].F.Add(buf[i])
+		}
+	}
+
+	// Bonded, wall and external forces (serial; cheap relative to pairs).
+	for _, b := range s.Bonded {
+		b.AddForces(s)
+	}
+	s.addWallForces()
+	s.addOpenFaceForces()
+	if s.External != nil {
+		for i := range s.Particles {
+			if !s.Particles[i].Frozen {
+				s.Particles[i].F = s.Particles[i].F.Add(s.External(s.Time, &s.Particles[i]))
+			}
+		}
+	}
+}
+
+// forcesInStrip accumulates pair forces for all pairs whose *owning* cell
+// (the lexicographically smaller of the two cells, or the cell itself for
+// intra-cell pairs) lies in the z-strip [z0, z1).
+func (s *System) forcesInStrip(z0, z1 int, buf []geometry.Vec3) {
+	rc2 := s.Rc * s.Rc
+	for cz := z0; cz < z1; cz++ {
+		for cy := 0; cy < s.ncell[1]; cy++ {
+			for cx := 0; cx < s.ncell[0]; cx++ {
+				home := cx + s.ncell[0]*(cy+s.ncell[1]*cz)
+				// Half-shell of neighbor cells (13 + self) so each pair is
+				// visited exactly once by exactly one strip.
+				for _, off := range halfShell {
+					nx, ny, nz := cx+off[0], cy+off[1], cz+off[2]
+					if !s.wrapCell(&nx, 0) || !s.wrapCell(&ny, 1) || !s.wrapCell(&nz, 2) {
+						continue
+					}
+					nbr := nx + s.ncell[0]*(ny+s.ncell[1]*nz)
+					if nbr == home && off != [3]int{0, 0, 0} {
+						continue // degenerate wrap in a 1-cell dimension
+					}
+					s.pairCells(home, nbr, off == [3]int{0, 0, 0}, rc2, buf)
+				}
+			}
+		}
+	}
+}
+
+// halfShell lists the cell offsets covering each neighbor pair once.
+var halfShell = [][3]int{
+	{0, 0, 0},
+	{1, 0, 0},
+	{-1, 1, 0}, {0, 1, 0}, {1, 1, 0},
+	{-1, -1, 1}, {0, -1, 1}, {1, -1, 1},
+	{-1, 0, 1}, {0, 0, 1}, {1, 0, 1},
+	{-1, 1, 1}, {0, 1, 1}, {1, 1, 1},
+}
+
+// wrapCell wraps a cell index along dimension d; returns false when the
+// index leaves a non-periodic box.
+func (s *System) wrapCell(c *int, d int) bool {
+	if *c < 0 {
+		if !s.Periodic[d] {
+			return false
+		}
+		*c += s.ncell[d]
+	} else if *c >= s.ncell[d] {
+		if !s.Periodic[d] {
+			return false
+		}
+		*c -= s.ncell[d]
+	}
+	return true
+}
+
+// pairCells accumulates forces between particles of cells ca and cb.
+func (s *System) pairCells(ca, cb int, same bool, rc2 float64, buf []geometry.Vec3) {
+	for i := s.heads[ca]; i >= 0; i = s.next[i] {
+		jStart := s.heads[cb]
+		if same {
+			jStart = s.next[i]
+		}
+		for j := jStart; j >= 0; j = s.next[j] {
+			s.pairForce(int(i), int(j), rc2, buf)
+		}
+	}
+}
+
+// pairForce computes the Groot-Warren force between particles i and j.
+func (s *System) pairForce(i, j int, rc2 float64, buf []geometry.Vec3) {
+	pi := &s.Particles[i]
+	pj := &s.Particles[j]
+	if pi.Frozen && pj.Frozen {
+		return
+	}
+	d := s.minimumImage(pi.Pos, pj.Pos)
+	r2 := d.Norm2()
+	if r2 >= rc2 || r2 == 0 {
+		return
+	}
+	r := math.Sqrt(r2)
+	rhat := d.Scale(1 / r)
+	w := 1 - r/s.Rc
+
+	a := s.A[pi.Species][pj.Species]
+	fc := a * w
+
+	vij := pi.Vel.Sub(pj.Vel)
+	wd := w * w
+	fd := -s.Gamma * wd * rhat.Dot(vij)
+
+	sigma := math.Sqrt(2 * s.Gamma * s.KBT)
+	xi := pairXi(s.Seed, uint64(s.Step), pi.ID, pj.ID)
+	fr := sigma * w * xi / math.Sqrt(s.Dt)
+
+	f := rhat.Scale(fc + fd + fr)
+	buf[i] = buf[i].Add(f)
+	buf[j] = buf[j].Sub(f)
+}
+
+// VVStep advances one modified velocity-Verlet step (Groot-Warren λ scheme):
+//
+//	v~ = v + λ dt f/m;  x += dt v + dt²f/2;  recompute f(x, v~);
+//	v += dt (f_old + f_new)/2
+//
+// For simplicity and robustness we use the common DPD-VV variant: predict
+// velocities, move, recompute forces, correct velocities.
+func (s *System) VVStep() {
+	dt := s.Dt
+	if s.Step == 0 {
+		s.ComputeForces()
+	}
+	// Predict.
+	for i := range s.Particles {
+		p := &s.Particles[i]
+		if p.Frozen {
+			continue
+		}
+		p.Vel = p.Vel.Add(p.F.Scale(s.Lambda * dt))
+		p.Pos = p.Pos.Add(p.Vel.Scale(dt))
+	}
+	s.applyBoundaries()
+	s.Step++
+	s.Time += dt
+	old := make([]geometry.Vec3, len(s.Particles))
+	for i := range s.Particles {
+		old[i] = s.Particles[i].F
+	}
+	s.ComputeForces()
+	// Correct: v = v_pred + dt (f_new + (1-2λ) f_old)/2, which reduces to
+	// the standard half-step correction for λ = 1/2.
+	for i := range s.Particles {
+		p := &s.Particles[i]
+		if p.Frozen {
+			continue
+		}
+		p.Vel = p.Vel.Add(p.F.Scale(dt / 2)).Add(old[i].Scale(dt * (1 - 2*s.Lambda) / 2))
+	}
+	// Inflow/outflow particle management runs after the move.
+	for _, f := range s.Inflows {
+		f.apply(s)
+	}
+}
+
+// Run advances n steps.
+func (s *System) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.VVStep()
+	}
+}
+
+// TotalMomentum sums m v over mobile particles.
+func (s *System) TotalMomentum() geometry.Vec3 {
+	var p geometry.Vec3
+	for i := range s.Particles {
+		if !s.Particles[i].Frozen {
+			p = p.Add(s.Particles[i].Vel)
+		}
+	}
+	return p
+}
+
+// Temperature returns the instantaneous kinetic temperature
+// <m v²>/3 over mobile particles, relative to the local mean velocity of the
+// whole system (assumes no macroscopic flow; use binned measurements in
+// flowing systems).
+func (s *System) Temperature() float64 {
+	var n int
+	var mean geometry.Vec3
+	for i := range s.Particles {
+		if !s.Particles[i].Frozen {
+			mean = mean.Add(s.Particles[i].Vel)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	mean = mean.Scale(1 / float64(n))
+	var ke float64
+	for i := range s.Particles {
+		if !s.Particles[i].Frozen {
+			ke += s.Particles[i].Vel.Sub(mean).Norm2()
+		}
+	}
+	return ke / (3 * float64(n))
+}
+
+// NumberDensity returns N/V over mobile particles.
+func (s *System) NumberDensity() float64 {
+	var n int
+	for i := range s.Particles {
+		if !s.Particles[i].Frozen {
+			n++
+		}
+	}
+	return float64(n) / s.Volume()
+}

@@ -1,0 +1,57 @@
+package dpd
+
+import "testing"
+
+func TestMeasureViscosityStandardFluid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long DPD run")
+	}
+	p := DefaultParams(1)
+	p.Dt = 0.005
+	nu, err := MeasureViscosity(p, 3, 0.05, 2500, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("standard fluid kinematic viscosity: %.3f", nu)
+	// Groot-Warren's standard fluid (a=25, gamma=4.5, kBT=1, rho=3) has
+	// eta ≈ 0.85, i.e. nu ≈ 0.28; accept a generous band for the
+	// wall-model and statistical effects.
+	if nu < 0.1 || nu > 0.8 {
+		t.Fatalf("nu = %v outside the plausible band for the standard fluid", nu)
+	}
+}
+
+func TestViscosityGrowsWithGamma(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long DPD run")
+	}
+	base := DefaultParams(1)
+	base.Dt = 0.005
+	thick := DefaultParams(1)
+	thick.Dt = 0.005
+	thick.Gamma = 3 * base.Gamma
+	nu1, err := MeasureViscosity(base, 3, 0.05, 2000, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nu2, err := MeasureViscosity(thick, 3, 0.05, 2000, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("nu(gamma) = %.3f, nu(3*gamma) = %.3f", nu1, nu2)
+	if nu2 <= nu1 {
+		t.Fatalf("tripling gamma did not increase viscosity: %v vs %v", nu2, nu1)
+	}
+}
+
+func TestMeasureViscosityRejectsBadInput(t *testing.T) {
+	p := DefaultParams(1)
+	if _, err := MeasureViscosity(p, 0, 0.1, 10, 10); err == nil {
+		t.Fatal("rho=0 accepted")
+	}
+	bad := DefaultParams(1)
+	bad.Dt = 0
+	if _, err := MeasureViscosity(bad, 3, 0.1, 10, 10); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}

@@ -1,0 +1,126 @@
+// Package geometry provides the small vector/surface toolkit shared by the
+// mesh generators, the spectral-element solver and the DPD engine: 3-vectors,
+// axis-aligned boxes, triangles and triangulated interface surfaces.
+package geometry
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a point or vector in R^3.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns s*v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v.X, s * v.Y, s * v.Z} }
+
+// Dot returns the inner product v . w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the vector product v x w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns |v|.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Norm2 returns |v|^2.
+func (v Vec3) Norm2() float64 { return v.Dot(v) }
+
+// Dist returns |v - w|.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
+
+// Normalized returns v/|v|. It panics on the zero vector, which always
+// indicates a geometry construction bug upstream.
+func (v Vec3) Normalized() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		panic("geometry: normalizing zero vector")
+	}
+	return v.Scale(1 / n)
+}
+
+// Lerp returns the linear interpolation (1-t)*v + t*w.
+func (v Vec3) Lerp(w Vec3, t float64) Vec3 {
+	return v.Scale(1 - t).Add(w.Scale(t))
+}
+
+// Mul returns the component-wise product.
+func (v Vec3) Mul(w Vec3) Vec3 { return Vec3{v.X * w.X, v.Y * w.Y, v.Z * w.Z} }
+
+func (v Vec3) String() string {
+	return fmt.Sprintf("(%.6g, %.6g, %.6g)", v.X, v.Y, v.Z)
+}
+
+// AABB is an axis-aligned bounding box.
+type AABB struct {
+	Min, Max Vec3
+}
+
+// NewAABB returns the smallest box containing all pts. An empty input yields
+// an inverted box for which Contains always reports false.
+func NewAABB(pts ...Vec3) AABB {
+	b := AABB{
+		Min: Vec3{math.Inf(1), math.Inf(1), math.Inf(1)},
+		Max: Vec3{math.Inf(-1), math.Inf(-1), math.Inf(-1)},
+	}
+	for _, p := range pts {
+		b = b.Extend(p)
+	}
+	return b
+}
+
+// Extend returns the box grown to contain p.
+func (b AABB) Extend(p Vec3) AABB {
+	return AABB{
+		Min: Vec3{math.Min(b.Min.X, p.X), math.Min(b.Min.Y, p.Y), math.Min(b.Min.Z, p.Z)},
+		Max: Vec3{math.Max(b.Max.X, p.X), math.Max(b.Max.Y, p.Y), math.Max(b.Max.Z, p.Z)},
+	}
+}
+
+// Union returns the smallest box containing both boxes.
+func (b AABB) Union(o AABB) AABB {
+	return b.Extend(o.Min).Extend(o.Max)
+}
+
+// Contains reports whether p lies in the closed box.
+func (b AABB) Contains(p Vec3) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X &&
+		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// Intersects reports whether the closed boxes overlap.
+func (b AABB) Intersects(o AABB) bool {
+	return b.Min.X <= o.Max.X && o.Min.X <= b.Max.X &&
+		b.Min.Y <= o.Max.Y && o.Min.Y <= b.Max.Y &&
+		b.Min.Z <= o.Max.Z && o.Min.Z <= b.Max.Z
+}
+
+// Size returns the box edge lengths.
+func (b AABB) Size() Vec3 { return b.Max.Sub(b.Min) }
+
+// Center returns the box midpoint.
+func (b AABB) Center() Vec3 { return b.Min.Add(b.Max).Scale(0.5) }
+
+// Volume returns the box volume (0 for inverted boxes).
+func (b AABB) Volume() float64 {
+	s := b.Size()
+	if s.X < 0 || s.Y < 0 || s.Z < 0 {
+		return 0
+	}
+	return s.X * s.Y * s.Z
+}

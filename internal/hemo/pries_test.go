@@ -1,0 +1,100 @@
+package hemo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelativeViscosityLargeTubeLimit(t *testing.T) {
+	// The paper: "in tubes with diameters larger than 400-500 µm blood can
+	// be assumed to be a nearly Newtonian fluid with a constant effective
+	// viscosity" — the Pries fit plateaus near η_rel ≈ 3.2 at 45% Hct.
+	v500 := RelativeViscosity(500, 0.45)
+	v1000 := RelativeViscosity(1000, 0.45)
+	if math.Abs(v500-v1000)/v1000 > 0.03 {
+		t.Fatalf("no plateau: η(500)=%v η(1000)=%v", v500, v1000)
+	}
+	if v1000 < 2.5 || v1000 > 3.5 {
+		t.Fatalf("bulk viscosity %v outside the physiological 2.5-3.5 band", v1000)
+	}
+}
+
+func TestFahraeusLindqvistMinimumLocation(t *testing.T) {
+	// The viscosity minimum sits at capillary scale (~6-8 µm at 45% Hct).
+	d, v := FahraeusLindqvistMinimum(0.45)
+	t.Logf("Fahraeus-Lindqvist minimum: %.2f µm, η_rel = %.3f", d, v)
+	if d < 5 || d > 10 {
+		t.Fatalf("minimum at %v µm, expected capillary scale", d)
+	}
+	if v >= RelativeViscosity(500, 0.45) {
+		t.Fatalf("minimum %v not below bulk viscosity", v)
+	}
+	if v <= 1 {
+		t.Fatalf("blood cannot be thinner than plasma: %v", v)
+	}
+}
+
+func TestViscosityMonotoneInHematocrit(t *testing.T) {
+	f := func(dRaw, h1Raw, h2Raw uint16) bool {
+		d := 5 + float64(dRaw%995)
+		h1 := float64(h1Raw%60) / 100
+		h2 := float64(h2Raw%60) / 100
+		if h1 > h2 {
+			h1, h2 = h2, h1
+		}
+		if h1 == h2 {
+			return true
+		}
+		return RelativeViscosity(d, h1) <= RelativeViscosity(d, h2)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroHematocritIsPlasma(t *testing.T) {
+	for _, d := range []float64{5, 50, 500} {
+		if v := RelativeViscosity(d, 0); v != 1 {
+			t.Fatalf("η(%v, 0) = %v", d, v)
+		}
+	}
+}
+
+func TestNarrowTubeBlowUp(t *testing.T) {
+	// Below ~3 µm (RBC cannot deform enough) the fit rises steeply.
+	if RelativeViscosity(3, 0.45) <= RelativeViscosity(7, 0.45) {
+		t.Fatal("no steep rise below the minimum")
+	}
+}
+
+func TestSegmentFrictionScalesWithViscosity(t *testing.T) {
+	nu := 0.04
+	base := SegmentFriction(nu, 500, 0)
+	want := 8 * math.Pi * nu
+	if math.Abs(base-want) > 1e-12 {
+		t.Fatalf("plasma friction = %v want %v", base, want)
+	}
+	if SegmentFriction(nu, 500, 0.45) <= base {
+		t.Fatal("hematocrit must raise friction")
+	}
+	// A 7 µm capillary at 45% Hct is less resistive per unit viscosity
+	// than a 3 µm one.
+	if SegmentFriction(nu, 7, 0.45) >= SegmentFriction(nu, 3, 0.45) {
+		t.Fatal("friction ordering violates Fahraeus-Lindqvist")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		fn()
+	}
+	mustPanic(func() { RelativeViscosity045(0) })
+	mustPanic(func() { RelativeViscosity(10, 1) })
+	mustPanic(func() { RelativeViscosity(10, -0.1) })
+}

@@ -1,0 +1,137 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nektarg/internal/simd"
+)
+
+// Operator is any symmetric positive-definite linear operator y = A x. Both
+// CSR matrices and matrix-free spectral-element Helmholtz operators satisfy
+// it.
+type Operator interface {
+	Dim() int
+	Apply(y, x []float64)
+}
+
+// CSROperator adapts a CSR matrix to the Operator interface.
+type CSROperator struct{ M *CSR }
+
+// Dim returns the operator dimension.
+func (o CSROperator) Dim() int { return o.M.Rows }
+
+// Apply computes y = M x.
+func (o CSROperator) Apply(y, x []float64) { o.M.MulVec(y, x) }
+
+// Preconditioner applies z = M^{-1} r approximately.
+type Preconditioner interface {
+	Precondition(z, r []float64)
+}
+
+// IdentityPrec is the trivial preconditioner z = r.
+type IdentityPrec struct{}
+
+// Precondition copies r into z.
+func (IdentityPrec) Precondition(z, r []float64) { copy(z, r) }
+
+// JacobiPrec is diagonal scaling, the baseline the paper's low-energy
+// preconditioner is compared against.
+type JacobiPrec struct{ InvDiag []float64 }
+
+// NewJacobiPrec builds a Jacobi preconditioner from a diagonal; zero diagonal
+// entries are treated as 1 so the operator remains well defined.
+func NewJacobiPrec(diag []float64) *JacobiPrec {
+	inv := make([]float64, len(diag))
+	for i, d := range diag {
+		if d == 0 {
+			inv[i] = 1
+		} else {
+			inv[i] = 1 / d
+		}
+	}
+	return &JacobiPrec{InvDiag: inv}
+}
+
+// Precondition computes z[i] = r[i] / diag[i].
+func (p *JacobiPrec) Precondition(z, r []float64) {
+	for i := range r {
+		z[i] = p.InvDiag[i] * r[i]
+	}
+}
+
+// CGResult reports how a conjugate-gradient solve went.
+type CGResult struct {
+	Iterations int
+	Residual   float64 // final ||b - A x|| / ||b||
+	Converged  bool
+}
+
+// ErrCGBreakdown is returned when the operator is not SPD (p^T A p <= 0).
+var ErrCGBreakdown = errors.New("linalg: CG breakdown: operator not positive definite")
+
+// CG solves A x = b with preconditioned conjugate gradients, overwriting x
+// (which also provides the initial guess — the paper accelerates convergence
+// by predicting a good initial state from previous time steps). It stops when
+// the relative residual drops below tol or after maxIter iterations.
+func CG(a Operator, x, b []float64, prec Preconditioner, tol float64, maxIter int) (CGResult, error) {
+	n := a.Dim()
+	if len(x) != n || len(b) != n {
+		panic(fmt.Sprintf("linalg: CG dimension mismatch: dim=%d len(x)=%d len(b)=%d", n, len(x), len(b)))
+	}
+	if prec == nil {
+		prec = IdentityPrec{}
+	}
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	bnorm := math.Sqrt(simd.Dot(b, b))
+	if bnorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return CGResult{Converged: true}, nil
+	}
+
+	// r = b - A x0
+	a.Apply(ap, x)
+	for i := range r {
+		r[i] = b[i] - ap[i]
+	}
+	prec.Precondition(z, r)
+	copy(p, z)
+	rz := simd.Dot(r, z)
+
+	res := CGResult{}
+	for k := 0; k < maxIter; k++ {
+		rnorm := math.Sqrt(simd.Dot(r, r))
+		res.Residual = rnorm / bnorm
+		if res.Residual < tol {
+			res.Converged = true
+			return res, nil
+		}
+		a.Apply(ap, p)
+		pap := simd.Dot(p, ap)
+		if pap <= 0 {
+			return res, ErrCGBreakdown
+		}
+		alpha := rz / pap
+		simd.Axpy(alpha, p, x)
+		simd.Axpy(-alpha, ap, r)
+		prec.Precondition(z, r)
+		rzNew := simd.Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+		res.Iterations = k + 1
+	}
+	rnorm := math.Sqrt(simd.Dot(r, r))
+	res.Residual = rnorm / bnorm
+	res.Converged = res.Residual < tol
+	return res, nil
+}

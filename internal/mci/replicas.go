@@ -1,0 +1,69 @@
+package mci
+
+import (
+	"fmt"
+
+	"nektarg/internal/mpi"
+)
+
+// ReplicaSet supports DPD-LAMMPS's domain replication (Figure 6): the L3
+// group of the atomistic domain is subdivided into NA equal replicas L3_j,
+// each integrating the same domain with different random forcing. Replica 0
+// is the master; it alone talks to the continuum side, broadcasting incoming
+// interface data to the slaves and averaging outgoing data over all replicas.
+type ReplicaSet struct {
+	// Replica is this rank's L3_j communicator.
+	Replica *mpi.Comm
+	// Peers links the ranks holding the same local rank across replicas;
+	// replica averaging is an Allreduce over it.
+	Peers *mpi.Comm
+	// Index is the replica number in [0, Count).
+	Index int
+	// Count is the number of replicas NA.
+	Count int
+}
+
+// SplitReplicas carves an L3 communicator into n equal replicas. The L3 size
+// must be divisible by n. Must be called collectively over l3.
+func SplitReplicas(l3 *mpi.Comm, n int) (*ReplicaSet, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mci: need >= 1 replica, got %d", n)
+	}
+	if l3.Size()%n != 0 {
+		return nil, fmt.Errorf("mci: L3 size %d not divisible by %d replicas", l3.Size(), n)
+	}
+	per := l3.Size() / n
+	idx := l3.Rank() / per
+	replica := l3.Split(idx, l3.Rank(), "L3j")
+	peers := l3.Split(l3.Rank()%per, l3.Rank(), "Lpeer")
+	return &ReplicaSet{Replica: replica, Peers: peers, Index: idx, Count: n}, nil
+}
+
+// IsMaster reports whether this rank belongs to the master replica (L3_1 in
+// the paper's 1-based numbering).
+func (r *ReplicaSet) IsMaster() bool { return r.Index == 0 }
+
+// Average returns the element-wise mean of each replica's local vector,
+// computed across the ranks holding the same position in every replica.
+// All ranks receive the averaged vector ("seamlessly collect ... data
+// required for the interface conditions over all replicas").
+func (r *ReplicaSet) Average(local []float64) []float64 {
+	sum := r.Peers.Allreduce(local, mpi.Sum)
+	out := make([]float64, len(sum))
+	inv := 1 / float64(r.Count)
+	for i, v := range sum {
+		out[i] = v * inv
+	}
+	return out
+}
+
+// MasterBcast distributes data held by the master replica's ranks to the
+// matching ranks of every slave replica (the master L4 "broadcast[s] ... data
+// ... to the slaves"). Non-master callers pass nil.
+func (r *ReplicaSet) MasterBcast(data []float64) []float64 {
+	var payload any
+	if r.IsMaster() {
+		payload = data
+	}
+	return r.Peers.Bcast(0, payload).([]float64)
+}

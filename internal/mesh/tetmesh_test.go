@@ -1,0 +1,234 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoxTetsCounts(t *testing.T) {
+	m := BoxTets(2, 3, 4, 1, 1, 1)
+	if m.NumVertices() != 3*4*5 {
+		t.Fatalf("verts = %d", m.NumVertices())
+	}
+	if m.NumElements() != 5*2*3*4 {
+		t.Fatalf("tets = %d", m.NumElements())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxTetsVolumeIsExact(t *testing.T) {
+	// The 5-tet decomposition must tile the box exactly.
+	m := BoxTets(3, 3, 3, 2, 3, 4)
+	if v := m.Volume(); math.Abs(v-24) > 1e-10 {
+		t.Fatalf("volume = %v want 24", v)
+	}
+}
+
+func TestBoxTetsConformingFaces(t *testing.T) {
+	// Every interior face must be shared by exactly 2 tets; counts of 1 are
+	// boundary. Any other count means non-conforming decomposition.
+	m := BoxTets(2, 2, 2, 1, 1, 1)
+	count := map[face]int{}
+	for _, tet := range m.Tets {
+		for _, f := range tetFaces {
+			count[sortedFace(tet[f[0]], tet[f[1]], tet[f[2]])]++
+		}
+	}
+	for f, c := range count {
+		if c != 1 && c != 2 {
+			t.Fatalf("face %v shared by %d elements", f, c)
+		}
+	}
+}
+
+func TestBoundaryFacesOfUnitBox(t *testing.T) {
+	m := BoxTets(1, 1, 1, 1, 1, 1)
+	// One cube of 5 tets: each of the 6 box faces is covered by 2 triangles
+	// (4 corner faces + diagonal splits): total boundary triangles = 12.
+	bf := m.BoundaryFaces()
+	if len(bf) != 12 {
+		t.Fatalf("boundary faces = %d", len(bf))
+	}
+}
+
+func TestCarotidTetsIsValidAndBent(t *testing.T) {
+	m := CarotidTets(20, 4, 4)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b := m.Bounds()
+	// The bend must spread the domain in both X and Y.
+	if b.Size().X < 1 || b.Size().Y < 0.5 {
+		t.Fatalf("domain not bent: %+v", b)
+	}
+}
+
+func TestSharedDOFWeightMonotone(t *testing.T) {
+	for p := 2; p <= 12; p++ {
+		face := SharedDOFWeight(p, 3)
+		edge := SharedDOFWeight(p, 2)
+		vert := SharedDOFWeight(p, 1)
+		if !(face > edge && edge > vert && vert == 1) {
+			t.Fatalf("p=%d: face %v edge %v vert %v", p, face, edge, vert)
+		}
+	}
+	if SharedDOFWeight(5, 0) != 0 {
+		t.Fatal("no sharing should weigh 0")
+	}
+}
+
+func TestAdjacencyFullSupersetOfFaceOnly(t *testing.T) {
+	m := BoxTets(3, 3, 3, 1, 1, 1)
+	gFace := m.AdjacencyGraph(FaceOnly, 6)
+	gFull := m.AdjacencyGraph(FullAdjacency, 6)
+	var nFace, nFull int
+	for e := 0; e < gFace.N; e++ {
+		nFace += len(gFace.Adj[e])
+		nFull += len(gFull.Adj[e])
+	}
+	if nFull <= nFace {
+		t.Fatalf("full adjacency (%d) should exceed face-only (%d)", nFull, nFace)
+	}
+	// Face adjacency in a tet mesh: every element has <= 4 face neighbors.
+	for e := 0; e < gFace.N; e++ {
+		if len(gFace.Adj[e]) > 4 {
+			t.Fatalf("element %d has %d face neighbors", e, len(gFace.Adj[e]))
+		}
+	}
+	// The paper observes O(10)-O(100) neighbors with vertex sharing.
+	var maxFull int
+	for e := 0; e < gFull.N; e++ {
+		if len(gFull.Adj[e]) > maxFull {
+			maxFull = len(gFull.Adj[e])
+		}
+	}
+	if maxFull < 10 {
+		t.Fatalf("full adjacency max degree = %d, expected O(10)+", maxFull)
+	}
+}
+
+func TestAdjacencyGraphSymmetric(t *testing.T) {
+	m := CarotidTets(6, 3, 3)
+	g := m.AdjacencyGraph(FullAdjacency, 4)
+	for a := 0; a < g.N; a++ {
+		for _, e := range g.Adj[a] {
+			found := false
+			for _, back := range g.Adj[e.To] {
+				if back.To == a && back.Weight == e.Weight {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d->%d not mirrored", a, e.To)
+			}
+		}
+	}
+}
+
+func TestChainDomainShape(t *testing.T) {
+	d := ChainDomain(4, PaperPatchElements, PaperOverlapElements)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Patches) != 4 || len(d.Interfaces) != 3 {
+		t.Fatalf("patches=%d interfaces=%d", len(d.Patches), len(d.Interfaces))
+	}
+	if d.TotalElements() != 4*PaperPatchElements {
+		t.Fatalf("total = %d", d.TotalElements())
+	}
+}
+
+func TestChainDomainDOFMatchesPaperScale(t *testing.T) {
+	// Table 3: 3 patches at P=10 give ~0.384 billion DOF. Our modal count
+	// should land within a factor ~2 of that (the paper's counts include
+	// solver-internal fields).
+	d := ChainDomain(3, PaperPatchElements, PaperOverlapElements)
+	dof := d.DOF(10, 4)
+	if dof < 0.15e9 || dof > 0.8e9 {
+		t.Fatalf("3-patch P=10 DOF = %g, expected ~0.4e9", dof)
+	}
+	// And 16 patches ~2.085B: ratio must scale linearly with patches.
+	d16 := ChainDomain(16, PaperPatchElements, PaperOverlapElements)
+	ratio := d16.DOF(10, 4) / dof
+	if math.Abs(ratio-16.0/3.0) > 1e-9 {
+		t.Fatalf("DOF ratio = %v", ratio)
+	}
+}
+
+func TestCircleOfWillisDomain(t *testing.T) {
+	d := CircleOfWillisDomain(PaperPatchElements, PaperOverlapElements)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Patches) != 4 {
+		t.Fatalf("patches = %d", len(d.Patches))
+	}
+	if len(d.Interfaces) != 3 {
+		t.Fatalf("interfaces = %d", len(d.Interfaces))
+	}
+	if d.ExternalInlets != 4 {
+		t.Fatalf("inlets = %d", d.ExternalInlets)
+	}
+	// The central patch touches all three interfaces.
+	if got := len(d.InterfacesOf(3)); got != 3 {
+		t.Fatalf("central patch interfaces = %d", got)
+	}
+	if got := len(d.InterfacesOf(0)); got != 1 {
+		t.Fatalf("feeder patch interfaces = %d", got)
+	}
+}
+
+func TestChainDomainProperty(t *testing.T) {
+	f := func(npRaw uint8) bool {
+		np := int(npRaw%10) + 1
+		d := ChainDomain(np, 100, 10)
+		if d.Validate() != nil {
+			return false
+		}
+		return len(d.Interfaces) == np-1 && d.TotalElements() == np*100
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadInterface(t *testing.T) {
+	d := ChainDomain(2, 10, 4)
+	d.Interfaces[0].B = 7
+	if d.Validate() == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestAneurysmTetsBulges(t *testing.T) {
+	m := AneurysmTets(16, 6, 6, 1.5)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b := m.Bounds()
+	// The dome inflates +y beyond the nominal pipe radius 0.5; -y stays.
+	if b.Max.Y < 0.9 {
+		t.Fatalf("no dome: max y = %v", b.Max.Y)
+	}
+	if b.Min.Y < -0.55 {
+		t.Fatalf("-y wall moved: min y = %v", b.Min.Y)
+	}
+	// Volume exceeds the plain pipe volume.
+	plain := AneurysmTets(16, 6, 6, 1e-9)
+	if m.Volume() <= plain.Volume() {
+		t.Fatalf("dome added no volume: %v vs %v", m.Volume(), plain.Volume())
+	}
+}
+
+func TestAneurysmTetsPanicsOnBadRadius(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AneurysmTets(4, 2, 2, 0)
+}

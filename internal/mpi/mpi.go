@@ -1,0 +1,439 @@
+// Package mpi is an in-process message-passing runtime with MPI-like
+// semantics: a World communicator spanning N ranks (goroutines), communicator
+// splitting, point-to-point send/receive with tag matching, and the
+// collectives the Multilevel Communicating Interface is built from.
+//
+// The paper's MCI (§3.1) is defined purely in terms of MPI_COMM_WORLD
+// decomposition into L2/L3/L4 sub-communicators plus root-to-root p2p
+// exchanges. This runtime provides exactly those primitives with the same
+// semantics — rank numbering by (color, key) split, FIFO ordering per
+// (source, destination, tag), and blocking collectives — so the coupling
+// algorithms run verbatim, just inside one process.
+//
+// Sends are eager (buffered): a Send never blocks, mirroring MPI's eager
+// protocol for the small interface payloads the coupled solvers exchange.
+// Message payloads transfer ownership: the sender must not mutate a sent
+// slice afterwards.
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// message is one in-flight point-to-point payload.
+type message struct {
+	src  int
+	tag  int
+	data any
+}
+
+// mailbox buffers messages destined for one rank of one communicator.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	msgs []message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m message) {
+	mb.mu.Lock()
+	mb.msgs = append(mb.msgs, m)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// take removes and returns the first message matching (src, tag), blocking
+// until one arrives. src == AnySource matches every sender.
+func (mb *mailbox) take(src, tag int) message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.msgs {
+			if (src == AnySource || m.src == src) && m.tag == tag {
+				mb.msgs = append(mb.msgs[:i], mb.msgs[i+1:]...)
+				return m
+			}
+		}
+		mb.cond.Wait()
+	}
+}
+
+// AnySource matches messages from any sender in Recv.
+const AnySource = -1
+
+// commState is the shared part of a communicator: one mailbox per rank.
+type commState struct {
+	size  int
+	boxes []*mailbox
+	name  string
+}
+
+func newCommState(size int, name string) *commState {
+	s := &commState{size: size, name: name}
+	s.boxes = make([]*mailbox, size)
+	for i := range s.boxes {
+		s.boxes[i] = newMailbox()
+	}
+	return s
+}
+
+// Comm is one rank's handle on a communicator. Handles are per-goroutine and
+// must not be shared between ranks.
+type Comm struct {
+	state   *commState
+	rank    int
+	collSeq int // per-rank collective sequence number; all ranks advance in lockstep
+}
+
+// Rank returns this process's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return c.state.size }
+
+// Name returns the communicator's diagnostic name (e.g. "world", "L3.2").
+func (c *Comm) Name() string { return c.state.name }
+
+// Send delivers data to rank dst with the given tag. Tags must be
+// non-negative; negative tags are reserved for collectives. Send is eager and
+// never blocks.
+func (c *Comm) Send(dst, tag int, data any) {
+	if tag < 0 {
+		panic(fmt.Sprintf("mpi: user tags must be >= 0, got %d", tag))
+	}
+	c.send(dst, tag, data)
+}
+
+func (c *Comm) send(dst, tag int, data any) {
+	if dst < 0 || dst >= c.state.size {
+		panic(fmt.Sprintf("mpi: Send to rank %d of communicator %q (size %d)", dst, c.state.name, c.state.size))
+	}
+	c.state.boxes[dst].put(message{src: c.rank, tag: tag, data: data})
+}
+
+// Recv blocks until a message with the given source and tag arrives and
+// returns its payload. Pass AnySource to match any sender.
+func (c *Comm) Recv(src, tag int) any {
+	if tag < 0 {
+		panic(fmt.Sprintf("mpi: user tags must be >= 0, got %d", tag))
+	}
+	m := c.state.boxes[c.rank].take(src, tag)
+	return m.data
+}
+
+// RecvFrom is Recv that also reports the actual sender (useful with
+// AnySource).
+func (c *Comm) RecvFrom(src, tag int) (any, int) {
+	if tag < 0 {
+		panic(fmt.Sprintf("mpi: user tags must be >= 0, got %d", tag))
+	}
+	m := c.state.boxes[c.rank].take(src, tag)
+	return m.data, m.src
+}
+
+// Collective op codes folded into reserved (negative) tags.
+const (
+	opBarrier = iota + 1
+	opBcast
+	opGather
+	opScatter
+	opAllreduce
+	opAllgather
+	opSplit
+	opReduce
+	opAlltoall
+)
+
+// collTag reserves a distinct negative tag for the seq-th collective of a
+// given kind. Every rank of a communicator must invoke collectives in the
+// same order, which keeps the per-rank sequence numbers in lockstep. The
+// multiplier must exceed the largest op code so (seq, op) pairs never
+// collide.
+func (c *Comm) collTag(op int) int {
+	c.collSeq++
+	return -(c.collSeq*16 + op)
+}
+
+// Barrier blocks until every rank of the communicator has entered it.
+func (c *Comm) Barrier() {
+	tag := c.collTag(opBarrier)
+	// Gather-to-0 then broadcast, both over reserved tags.
+	if c.rank == 0 {
+		for src := 1; src < c.state.size; src++ {
+			c.state.boxes[0].take(src, tag)
+		}
+		for dst := 1; dst < c.state.size; dst++ {
+			c.send(dst, tag, nil)
+		}
+	} else {
+		c.send(0, tag, nil)
+		c.state.boxes[c.rank].take(0, tag)
+	}
+}
+
+// Bcast distributes root's data to every rank and returns it. Non-root
+// callers pass nil (their argument is ignored).
+func (c *Comm) Bcast(root int, data any) any {
+	tag := c.collTag(opBcast)
+	if c.rank == root {
+		for dst := 0; dst < c.state.size; dst++ {
+			if dst != root {
+				c.send(dst, tag, data)
+			}
+		}
+		return data
+	}
+	return c.state.boxes[c.rank].take(root, tag).data
+}
+
+// Gather collects one payload from every rank at root, ordered by rank.
+// Non-root callers receive nil.
+func (c *Comm) Gather(root int, data any) []any {
+	tag := c.collTag(opGather)
+	if c.rank == root {
+		out := make([]any, c.state.size)
+		out[root] = data
+		for src := 0; src < c.state.size; src++ {
+			if src != root {
+				out[src] = c.state.boxes[root].take(src, tag).data
+			}
+		}
+		return out
+	}
+	c.send(root, tag, data)
+	return nil
+}
+
+// Scatter distributes parts[i] from root to rank i and returns this rank's
+// part. Non-root callers pass nil.
+func (c *Comm) Scatter(root int, parts []any) any {
+	tag := c.collTag(opScatter)
+	if c.rank == root {
+		if len(parts) != c.state.size {
+			panic(fmt.Sprintf("mpi: Scatter needs %d parts, got %d", c.state.size, len(parts)))
+		}
+		for dst := 0; dst < c.state.size; dst++ {
+			if dst != root {
+				c.send(dst, tag, parts[dst])
+			}
+		}
+		return parts[root]
+	}
+	return c.state.boxes[c.rank].take(root, tag).data
+}
+
+// ReduceOp combines two float64 values; it must be associative and
+// commutative.
+type ReduceOp func(a, b float64) float64
+
+// Standard reduction operators.
+var (
+	Sum ReduceOp = func(a, b float64) float64 { return a + b }
+	Max ReduceOp = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	Min ReduceOp = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+// Allreduce element-wise combines equal-length vectors from all ranks and
+// returns the reduced vector on every rank.
+func (c *Comm) Allreduce(local []float64, op ReduceOp) []float64 {
+	tag := c.collTag(opAllreduce)
+	if c.rank == 0 {
+		acc := append([]float64(nil), local...)
+		for src := 1; src < c.state.size; src++ {
+			v := c.state.boxes[0].take(src, tag).data.([]float64)
+			if len(v) != len(acc) {
+				panic(fmt.Sprintf("mpi: Allreduce length mismatch: %d vs %d", len(v), len(acc)))
+			}
+			for i := range acc {
+				acc[i] = op(acc[i], v[i])
+			}
+		}
+		for dst := 1; dst < c.state.size; dst++ {
+			c.send(dst, tag, acc)
+		}
+		return acc
+	}
+	c.send(0, tag, local)
+	return c.state.boxes[c.rank].take(0, tag).data.([]float64)
+}
+
+// Reduce element-wise combines equal-length vectors from all ranks onto
+// root; non-root callers receive nil.
+func (c *Comm) Reduce(root int, local []float64, op ReduceOp) []float64 {
+	tag := c.collTag(opReduce)
+	if c.rank == root {
+		acc := append([]float64(nil), local...)
+		for src := 0; src < c.state.size; src++ {
+			if src == root {
+				continue
+			}
+			v := c.state.boxes[root].take(src, tag).data.([]float64)
+			if len(v) != len(acc) {
+				panic(fmt.Sprintf("mpi: Reduce length mismatch: %d vs %d", len(v), len(acc)))
+			}
+			for i := range acc {
+				acc[i] = op(acc[i], v[i])
+			}
+		}
+		return acc
+	}
+	c.send(root, tag, local)
+	return nil
+}
+
+// Alltoall performs a personalized exchange: parts[i] goes to rank i, and
+// the result holds what every rank addressed to this one, ordered by sender.
+func (c *Comm) Alltoall(parts []any) []any {
+	tag := c.collTag(opAlltoall)
+	if len(parts) != c.state.size {
+		panic(fmt.Sprintf("mpi: Alltoall needs %d parts, got %d", c.state.size, len(parts)))
+	}
+	for dst := 0; dst < c.state.size; dst++ {
+		if dst != c.rank {
+			c.send(dst, tag, parts[dst])
+		}
+	}
+	out := make([]any, c.state.size)
+	out[c.rank] = parts[c.rank]
+	for src := 0; src < c.state.size; src++ {
+		if src != c.rank {
+			out[src] = c.state.boxes[c.rank].take(src, tag).data
+		}
+	}
+	return out
+}
+
+// Allgather collects one payload from every rank on every rank, ordered by
+// rank.
+func (c *Comm) Allgather(data any) []any {
+	tag := c.collTag(opAllgather)
+	if c.rank == 0 {
+		out := make([]any, c.state.size)
+		out[0] = data
+		for src := 1; src < c.state.size; src++ {
+			out[src] = c.state.boxes[0].take(src, tag).data
+		}
+		for dst := 1; dst < c.state.size; dst++ {
+			c.send(dst, tag, out)
+		}
+		return out
+	}
+	c.send(0, tag, data)
+	return c.state.boxes[c.rank].take(0, tag).data.([]any)
+}
+
+// splitRequest is the payload ranks send to rank 0 during Split.
+type splitRequest struct {
+	rank, color, key int
+}
+
+// splitReply carries a rank's new communicator assignment.
+type splitReply struct {
+	state *commState
+	rank  int
+}
+
+// Split partitions the communicator by color, ordering ranks within each new
+// communicator by (key, old rank), exactly like MPI_Comm_split. Every rank
+// must call it; a rank passing a negative color receives nil (MPI_UNDEFINED).
+func (c *Comm) Split(color, key int, name string) *Comm {
+	tag := c.collTag(opSplit)
+	if c.rank == 0 {
+		reqs := make([]splitRequest, c.state.size)
+		reqs[0] = splitRequest{rank: 0, color: color, key: key}
+		for src := 1; src < c.state.size; src++ {
+			reqs[src] = c.state.boxes[0].take(src, tag).data.(splitRequest)
+		}
+		// Group by color.
+		groups := map[int][]splitRequest{}
+		for _, r := range reqs {
+			if r.color >= 0 {
+				groups[r.color] = append(groups[r.color], r)
+			}
+		}
+		replies := make([]splitReply, c.state.size)
+		colors := make([]int, 0, len(groups))
+		for col := range groups {
+			colors = append(colors, col)
+		}
+		sort.Ints(colors)
+		for _, col := range colors {
+			g := groups[col]
+			sort.Slice(g, func(a, b int) bool {
+				if g[a].key != g[b].key {
+					return g[a].key < g[b].key
+				}
+				return g[a].rank < g[b].rank
+			})
+			st := newCommState(len(g), fmt.Sprintf("%s/%s.%d", c.state.name, name, col))
+			for newRank, r := range g {
+				replies[r.rank] = splitReply{state: st, rank: newRank}
+			}
+		}
+		for dst := 1; dst < c.state.size; dst++ {
+			c.send(dst, tag, replies[dst])
+		}
+		rep := replies[0]
+		if rep.state == nil {
+			return nil
+		}
+		return &Comm{state: rep.state, rank: rep.rank}
+	}
+	c.send(0, tag, splitRequest{rank: c.rank, color: color, key: key})
+	rep := c.state.boxes[c.rank].take(0, tag).data.(splitReply)
+	if rep.state == nil {
+		return nil
+	}
+	return &Comm{state: rep.state, rank: rep.rank}
+}
+
+// Run launches size ranks, each executing body with its world communicator,
+// and waits for all to finish. A panic in any rank is captured and returned
+// as an error naming the rank. Note that a panicking rank may leave peers
+// blocked; Run is intended for tests and in-process simulations where that
+// aborts the whole program anyway.
+func Run(size int, body func(world *Comm)) error {
+	if size < 1 {
+		return fmt.Errorf("mpi: Run needs size >= 1, got %d", size)
+	}
+	state := newCommState(size, "world")
+	errs := make(chan error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs <- fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+				}
+			}()
+			body(&Comm{state: state, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

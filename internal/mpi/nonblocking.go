@@ -1,0 +1,76 @@
+package mpi
+
+// Nonblocking point-to-point operations. The paper's communication-intensive
+// routines keep "at least 6 outstanding messages" in flight per node; the
+// Isend/Irecv/Wait trio is how a solver expresses that overlap. Sends are
+// already eager in this runtime, so Isend completes immediately; Irecv posts
+// a receive that a worker goroutine satisfies, letting the caller compute
+// while the message is in flight.
+
+// Request tracks one outstanding nonblocking operation.
+type Request struct {
+	done <-chan any
+	data any
+	rcvd bool
+}
+
+// Isend starts a nonblocking send. With the eager runtime it buffers
+// immediately; the returned Request exists for symmetry and always completes
+// without blocking.
+func (c *Comm) Isend(dst, tag int, data any) *Request {
+	c.Send(dst, tag, data)
+	ch := make(chan any, 1)
+	ch <- nil
+	return &Request{done: ch}
+}
+
+// Irecv posts a nonblocking receive for (src, tag). The match proceeds on a
+// background goroutine; Wait blocks until the message arrives and returns
+// its payload.
+func (c *Comm) Irecv(src, tag int) *Request {
+	if tag < 0 {
+		panic("mpi: user tags must be >= 0")
+	}
+	ch := make(chan any, 1)
+	box := c.state.boxes[c.rank]
+	go func() {
+		m := box.take(src, tag)
+		ch <- m.data
+	}()
+	return &Request{done: ch}
+}
+
+// Wait blocks until the request completes and returns the received payload
+// (nil for sends). Calling Wait twice returns the same payload.
+func (r *Request) Wait() any {
+	if !r.rcvd {
+		r.data = <-r.done
+		r.rcvd = true
+	}
+	return r.data
+}
+
+// Test reports whether the request has completed without blocking; when it
+// has, the payload is retrievable via Wait.
+func (r *Request) Test() bool {
+	if r.rcvd {
+		return true
+	}
+	select {
+	case d := <-r.done:
+		r.data = d
+		r.rcvd = true
+		return true
+	default:
+		return false
+	}
+}
+
+// WaitAll drains a set of requests and returns their payloads in order.
+func WaitAll(reqs ...*Request) []any {
+	out := make([]any, len(reqs))
+	for i, r := range reqs {
+		out[i] = r.Wait()
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+)
+
+func TestIrecvWaitDeliversPayload(t *testing.T) {
+	err := Run(2, func(w *Comm) {
+		if w.Rank() == 0 {
+			req := w.Irecv(1, 4)
+			got := req.Wait().(string)
+			if got != "hello" {
+				t.Errorf("got %q", got)
+			}
+			// Second Wait returns the same payload.
+			if req.Wait().(string) != "hello" {
+				t.Error("repeated Wait changed payload")
+			}
+		} else {
+			time.Sleep(5 * time.Millisecond) // receiver posts first
+			w.Send(0, 4, "hello")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlapComputeWithSixOutstanding(t *testing.T) {
+	// The paper's pattern: post many receives, keep computing, then drain.
+	const peers = 6
+	err := Run(peers+1, func(w *Comm) {
+		if w.Rank() == 0 {
+			reqs := make([]*Request, peers)
+			for i := 0; i < peers; i++ {
+				reqs[i] = w.Irecv(i+1, 9)
+			}
+			// "Compute" while messages are in flight.
+			acc := 0
+			for i := 0; i < 1000; i++ {
+				acc += i
+			}
+			results := WaitAll(reqs...)
+			for i, r := range results {
+				if r.(int) != (i+1)*(i+1) {
+					t.Errorf("peer %d sent %v", i+1, r)
+				}
+			}
+			_ = acc
+		} else {
+			w.Send(0, 9, w.Rank()*w.Rank())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestTest(t *testing.T) {
+	err := Run(2, func(w *Comm) {
+		if w.Rank() == 0 {
+			req := w.Irecv(1, 2)
+			// Nothing sent yet: Test must not block and must report false
+			// at least initially (the peer sleeps).
+			if req.Test() {
+				t.Log("message arrived unusually fast; acceptable")
+			}
+			deadline := time.Now().Add(2 * time.Second)
+			for !req.Test() {
+				if time.Now().After(deadline) {
+					t.Error("request never completed")
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+			if req.Wait().(int) != 77 {
+				t.Errorf("payload %v", req.Wait())
+			}
+		} else {
+			time.Sleep(20 * time.Millisecond)
+			w.Send(0, 2, 77)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsendCompletesImmediately(t *testing.T) {
+	err := Run(2, func(w *Comm) {
+		if w.Rank() == 0 {
+			req := w.Isend(1, 3, 42)
+			if !req.Test() {
+				t.Error("eager Isend should be complete")
+			}
+			req.Wait()
+		} else {
+			if got := w.Recv(0, 3).(int); got != 42 {
+				t.Errorf("got %v", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

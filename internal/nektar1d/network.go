@@ -1,0 +1,324 @@
+package nektar1d
+
+import (
+	"fmt"
+	"math"
+
+	"nektarg/internal/linalg"
+)
+
+// Windkessel is the lumped RC outflow model the paper couples to every
+// outlet: a peripheral resistance R in parallel with a compliance C. The
+// capacitor pressure P is the outlet pressure; C dP/dt = Q - P/R.
+type Windkessel struct {
+	R, C float64
+	P    float64
+}
+
+// NewWindkessel builds an RC element at zero pressure.
+func NewWindkessel(r, c float64) *Windkessel {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("nektar1d: windkessel needs R,C > 0, got %v %v", r, c))
+	}
+	return &Windkessel{R: r, C: c}
+}
+
+// Update advances the capacitor pressure under inflow q over dt.
+func (w *Windkessel) Update(q, dt float64) {
+	w.P += dt * (q - w.P/w.R) / w.C
+}
+
+// TimeConstant returns RC.
+func (w *Windkessel) TimeConstant() float64 { return w.R * w.C }
+
+// Inlet prescribes volumetric inflow Q(t) at a segment's x=0 boundary.
+type Inlet struct {
+	Seg *Segment
+	Q   func(t float64) float64
+}
+
+// Outlet terminates a segment's x=L boundary with a windkessel.
+type Outlet struct {
+	Seg *Segment
+	WK  *Windkessel
+}
+
+// Junction joins the end of Parent to the starts of Children with pressure
+// continuity and mass conservation (a bifurcation for two children, a simple
+// connection for one).
+type Junction struct {
+	Parent   *Segment
+	Children []*Segment
+}
+
+// Network is a tree of segments with boundary devices.
+type Network struct {
+	Segments  []*Segment
+	Inlets    []*Inlet
+	Outlets   []*Outlet
+	Junctions []*Junction
+	Time      float64
+	Steps     int
+}
+
+// AddSegment registers a segment.
+func (n *Network) AddSegment(s *Segment) *Segment {
+	n.Segments = append(n.Segments, s)
+	return s
+}
+
+// Step advances the whole network by dt. It returns an error if the CFL
+// bound is violated or a junction solve fails.
+func (n *Network) Step(dt float64) error {
+	for _, s := range n.Segments {
+		if cfl := s.MaxCFL(dt); cfl > 1 {
+			return fmt.Errorf("nektar1d: CFL %0.2f > 1 on segment %q", cfl, s.Name)
+		}
+	}
+	// Interior update into fresh buffers.
+	newA := make(map[*Segment][]float64, len(n.Segments))
+	newU := make(map[*Segment][]float64, len(n.Segments))
+	for _, s := range n.Segments {
+		a := make([]float64, s.N)
+		u := make([]float64, s.N)
+		s.interiorStep(dt, a, u)
+		newA[s], newU[s] = a, u
+	}
+
+	// Inlets: prescribed Q with backward characteristic from the interior.
+	for _, in := range n.Inlets {
+		s := in.Seg
+		w2 := s.charMinus(s.A[1], s.U[1])
+		q := in.Q(n.Time + dt)
+		a, u, err := solveInletQ(s, q, w2)
+		if err != nil {
+			return fmt.Errorf("nektar1d: inlet on %q: %w", s.Name, err)
+		}
+		newA[s][0], newU[s][0] = a, u
+	}
+
+	// Outlets: windkessel pressure coupled implicitly with the forward
+	// characteristic. The explicit splitting is unstable for stiff RC
+	// parameters (loop gain dt/C · dq/dP can exceed 1), so we Newton-solve
+	//   P = P_old + dt (q(P) - P/R)/C,  q(P) = a(P) (w1 - 4 c(a(P)))
+	// for the new capacitor pressure.
+	for _, out := range n.Outlets {
+		s := out.Seg
+		last := s.N - 1
+		w1 := s.charPlus(s.A[last-1], s.U[last-1])
+		p, a, u, err := solveOutletWK(s, out.WK, w1, dt)
+		if err != nil {
+			return fmt.Errorf("nektar1d: outlet on %q: %w", s.Name, err)
+		}
+		out.WK.P = p
+		newA[s][last], newU[s][last] = a, u
+	}
+
+	// Junctions: Newton solve for pressure continuity + mass conservation.
+	for _, j := range n.Junctions {
+		if err := j.solve(newA, newU); err != nil {
+			return err
+		}
+	}
+
+	for _, s := range n.Segments {
+		copy(s.A, newA[s])
+		copy(s.U, newU[s])
+	}
+	n.Time += dt
+	n.Steps++
+	return nil
+}
+
+// Run advances nSteps steps of size dt.
+func (n *Network) Run(nSteps int, dt float64) error {
+	for i := 0; i < nSteps; i++ {
+		if err := n.Step(dt); err != nil {
+			return fmt.Errorf("step %d: %w", n.Steps, err)
+		}
+	}
+	return nil
+}
+
+// solveInletQ finds (a, u) at the inlet with a*u = q and backward invariant
+// u - 4c(a) = w2, by Newton iteration on a.
+func solveInletQ(s *Segment, q, w2 float64) (float64, float64, error) {
+	a := s.A[0]
+	if a <= 0 {
+		a = s.A0
+	}
+	for iter := 0; iter < 60; iter++ {
+		c := s.WaveSpeed(a)
+		f := q/a - (w2 + 4*c)
+		dcda := c / (4 * a)
+		df := -q/(a*a) - 4*dcda
+		da := f / df
+		aNew := a - da
+		if aNew < 1e-10*s.A0 {
+			aNew = a / 2
+		}
+		if math.Abs(aNew-a) < 1e-14*s.A0 {
+			a = aNew
+			break
+		}
+		a = aNew
+	}
+	u := q / a
+	if math.IsNaN(a) || math.IsNaN(u) {
+		return 0, 0, fmt.Errorf("inlet Newton diverged (q=%v w2=%v)", q, w2)
+	}
+	return a, u, nil
+}
+
+// solveOutletWK finds the new windkessel pressure P and the boundary state
+// (a, u) satisfying the backward-Euler windkessel update and the forward
+// characteristic simultaneously.
+func solveOutletWK(s *Segment, wk *Windkessel, w1, dt float64) (p, a, u float64, err error) {
+	g := dt / wk.C
+	p = wk.P
+	eval := func(p float64) (f, df, a, u float64) {
+		sq := p/s.Beta + math.Sqrt(s.A0)
+		if sq < 1e-9 {
+			sq = 1e-9
+		}
+		a = sq * sq
+		c := s.WaveSpeed(a)
+		u = w1 - 4*c
+		q := a * u
+		dadp := 2 * sq / s.Beta
+		dcdp := c / (4 * a) * dadp
+		dqdp := dadp*u - 4*a*dcdp
+		f = p - wk.P - g*(q-p/wk.R)
+		df = 1 - g*(dqdp-1/wk.R)
+		return f, df, a, u
+	}
+	for iter := 0; iter < 80; iter++ {
+		f, df, aa, uu := eval(p)
+		a, u = aa, uu
+		dp := f / df
+		p -= dp
+		if math.Abs(dp) < 1e-12*(1+math.Abs(p)) {
+			break
+		}
+	}
+	_, _, a, u = eval(p)
+	if math.IsNaN(p) || math.IsNaN(a) || math.IsNaN(u) {
+		return 0, 0, 0, fmt.Errorf("windkessel Newton diverged (w1=%v)", w1)
+	}
+	return p, a, u, nil
+}
+
+// solve matches the junction branches: unknowns (a_b, u_b) for the parent
+// end and each child start; equations are the outgoing/incoming Riemann
+// invariants, mass conservation and pressure continuity.
+func (j *Junction) solve(newA, newU map[*Segment][]float64) error {
+	m := len(j.Children)
+	if m < 1 {
+		return fmt.Errorf("nektar1d: junction of %q has no children", j.Parent.Name)
+	}
+	nb := m + 1
+	nu := 2 * nb // unknowns: a_0..a_m, u_0..u_m
+
+	segs := make([]*Segment, nb)
+	segs[0] = j.Parent
+	copy(segs[1:], j.Children)
+
+	// Characteristic targets from the interior (old time level).
+	w := make([]float64, nb)
+	p := j.Parent
+	w[0] = p.charPlus(p.A[p.N-2], p.U[p.N-2])
+	for b, c := range j.Children {
+		w[b+1] = c.charMinus(c.A[1], c.U[1])
+	}
+
+	// Initial guess: current boundary values.
+	x := make([]float64, nu)
+	x[0] = p.A[p.N-1]
+	x[nb] = p.U[p.N-1]
+	for b, c := range j.Children {
+		x[1+b] = c.A[0]
+		x[nb+1+b] = c.U[0]
+	}
+
+	for iter := 0; iter < 80; iter++ {
+		f := make([]float64, nu)
+		jac := linalg.NewDense(nu, nu)
+		// Characteristic equations.
+		for b := 0; b < nb; b++ {
+			a, u := x[b], x[nb+b]
+			c := segs[b].WaveSpeed(a)
+			dcda := c / (4 * a)
+			if b == 0 {
+				f[b] = u + 4*c - w[b]
+				jac.Set(b, b, 4*dcda)
+			} else {
+				f[b] = u - 4*c - w[b]
+				jac.Set(b, b, -4*dcda)
+			}
+			jac.Set(b, nb+b, 1)
+		}
+		// Mass conservation: a0 u0 - sum ab ub = 0.
+		row := nb
+		f[row] = x[0] * x[nb]
+		jac.Set(row, 0, x[nb])
+		jac.Set(row, nb, x[0])
+		for b := 1; b < nb; b++ {
+			f[row] -= x[b] * x[nb+b]
+			jac.Set(row, b, -x[nb+b])
+			jac.Set(row, nb+b, -x[b])
+		}
+		// Pressure continuity: p0(a0) - pb(ab) = 0 for each child.
+		for b := 1; b < nb; b++ {
+			row := nb + b
+			p0 := segs[0].Beta * (math.Sqrt(x[0]) - math.Sqrt(segs[0].A0))
+			pb := segs[b].Beta * (math.Sqrt(x[b]) - math.Sqrt(segs[b].A0))
+			f[row] = p0 - pb
+			jac.Set(row, 0, segs[0].Beta/(2*math.Sqrt(x[0])))
+			jac.Set(row, b, -segs[b].Beta/(2*math.Sqrt(x[b])))
+		}
+
+		var norm float64
+		for _, v := range f {
+			norm += v * v
+		}
+		if math.Sqrt(norm) < 1e-12 {
+			break
+		}
+		dx, err := linalg.SolveLU(jac, f)
+		if err != nil {
+			return fmt.Errorf("nektar1d: junction at %q: %w", j.Parent.Name, err)
+		}
+		for i := range x {
+			x[i] -= dx[i]
+		}
+		for b := 0; b < nb; b++ {
+			if x[b] <= 0 || math.IsNaN(x[b]) {
+				return fmt.Errorf("nektar1d: junction at %q: negative area in Newton", j.Parent.Name)
+			}
+		}
+	}
+
+	newA[p][p.N-1], newU[p][p.N-1] = x[0], x[nb]
+	for b, c := range j.Children {
+		newA[c][0], newU[c][0] = x[1+b], x[nb+1+b]
+	}
+	return nil
+}
+
+// TotalOutletFlow sums the instantaneous flow leaving through all outlets.
+func (n *Network) TotalOutletFlow() float64 {
+	var q float64
+	for _, o := range n.Outlets {
+		q += o.Seg.Flow(o.Seg.N - 1)
+	}
+	return q
+}
+
+// TotalVolume sums segment volumes.
+func (n *Network) TotalVolume() float64 {
+	var v float64
+	for _, s := range n.Segments {
+		v += s.Volume()
+	}
+	return v
+}

@@ -1,0 +1,359 @@
+package nektar3d
+
+import (
+	"fmt"
+	"math"
+
+	"nektarg/internal/geometry"
+	"nektarg/internal/linalg"
+)
+
+// Mapping deforms the reference box [0,1]³ into a curved physical domain —
+// the mechanism behind NεκTαr's "easy discretization of complex geometry
+// domains with curved boundaries". X maps reference to physical
+// coordinates; Jac returns the 3x3 Jacobian ∂X/∂ξ at a reference point.
+type Mapping struct {
+	X   func(xi, eta, zeta float64) geometry.Vec3
+	Jac func(xi, eta, zeta float64) [3][3]float64
+}
+
+// IdentityMapping returns the trivial mapping onto [0,lx]x[0,ly]x[0,lz].
+func IdentityMapping(lx, ly, lz float64) Mapping {
+	return Mapping{
+		X: func(xi, eta, zeta float64) geometry.Vec3 {
+			return geometry.Vec3{X: lx * xi, Y: ly * eta, Z: lz * zeta}
+		},
+		Jac: func(_, _, _ float64) [3][3]float64 {
+			return [3][3]float64{{lx, 0, 0}, {0, ly, 0}, {0, 0, lz}}
+		},
+	}
+}
+
+// BentChannelMapping bends the unit box into a circular-arc channel of bend
+// angle theta and centerline radius arcR: the carotid-like curved duct the
+// continuum patches of Figure 1 discretize. Width/height give the duct
+// cross-section.
+func BentChannelMapping(arcR, theta, width, height float64) Mapping {
+	if arcR <= width/2 {
+		panic(fmt.Sprintf("nektar3d: bend radius %v too small for width %v", arcR, width))
+	}
+	// r decreases with eta so the (ξ, η, ζ) frame stays right-handed
+	// (det J = θ r w h > 0).
+	return Mapping{
+		X: func(xi, eta, zeta float64) geometry.Vec3 {
+			r := arcR - (eta-0.5)*width
+			a := theta * xi
+			return geometry.Vec3{
+				X: r * math.Sin(a),
+				Y: arcR - r*math.Cos(a),
+				Z: (zeta - 0.5) * height,
+			}
+		},
+		Jac: func(xi, eta, _ float64) [3][3]float64 {
+			r := arcR - (eta-0.5)*width
+			a := theta * xi
+			return [3][3]float64{
+				{theta * r * math.Cos(a), -width * math.Sin(a), 0},
+				{theta * r * math.Sin(a), width * math.Cos(a), 0},
+				{0, 0, height},
+			}
+		},
+	}
+}
+
+// MappedGrid solves elliptic problems on a curvilinear deformation of a
+// spectral-element box: the full metric-tensor stiffness
+//
+//	(K u)_e = Σ_q ∇_ξ φᵀ [ w_q det J  J⁻¹ J⁻ᵀ ] ∇_ξ u
+//
+// replaces the diagonal metric of the affine Grid. The reference grid
+// provides connectivity, basis and indexing.
+type MappedGrid struct {
+	Ref *Grid // reference box [0,1]³, same connectivity
+	Map Mapping
+
+	// Per-node geometric data (global node index):
+	detJ []float64       // det of the composed Jacobian
+	ginv [][3][3]float64 // (J⁻¹ J⁻ᵀ), symmetric
+	pos  []geometry.Vec3 // physical node positions
+	mass []float64       // assembled w·detJ
+}
+
+// NewMappedGrid builds the curvilinear solver grid with nex x ney x nez
+// elements of order p under the mapping. Only non-periodic (Dirichlet)
+// boundaries are supported.
+func NewMappedGrid(nex, ney, nez, p int, m Mapping) *MappedGrid {
+	ref := NewGrid(nex, ney, nez, p, 1, 1, 1, false, false, false)
+	n := ref.NumNodes()
+	mg := &MappedGrid{
+		Ref:  ref,
+		Map:  m,
+		detJ: make([]float64, n),
+		ginv: make([][3][3]float64, n),
+		pos:  make([]geometry.Vec3, n),
+		mass: make([]float64, n),
+	}
+	for k := 0; k < ref.Nz; k++ {
+		for j := 0; j < ref.Ny; j++ {
+			for i := 0; i < ref.Nx; i++ {
+				nn := ref.Idx(i, j, k)
+				xi, eta, zeta := ref.X[i], ref.Y[j], ref.Z[k]
+				jac := m.Jac(xi, eta, zeta)
+				det := det3(jac)
+				if det <= 0 {
+					panic(fmt.Sprintf("nektar3d: mapping folds at (%v,%v,%v): detJ=%v", xi, eta, zeta, det))
+				}
+				inv := inv3(jac, det)
+				// G = J⁻¹ J⁻ᵀ.
+				var g [3][3]float64
+				for a := 0; a < 3; a++ {
+					for b := 0; b < 3; b++ {
+						for c := 0; c < 3; c++ {
+							g[a][b] += inv[a][c] * inv[b][c]
+						}
+					}
+				}
+				mg.detJ[nn] = det
+				mg.ginv[nn] = g
+				mg.pos[nn] = m.X(xi, eta, zeta)
+			}
+		}
+	}
+	// Assembled mass: element-local quadrature weights times detJ.
+	w := ref.Basis.Weights
+	jref := ref.Jx * ref.Jy * ref.Jz // reference-element affine volume factor
+	nq := p + 1
+	ref.forEachElement(func(ex, ey, ez int) {
+		for kk := 0; kk < nq; kk++ {
+			for jj := 0; jj < nq; jj++ {
+				for ii := 0; ii < nq; ii++ {
+					nn := ref.gid(ex, ey, ez, ii, jj, kk)
+					mg.mass[nn] += w[ii] * w[jj] * w[kk] * jref * mg.detJ[nn]
+				}
+			}
+		}
+	})
+	return mg
+}
+
+func det3(j [3][3]float64) float64 {
+	return j[0][0]*(j[1][1]*j[2][2]-j[1][2]*j[2][1]) -
+		j[0][1]*(j[1][0]*j[2][2]-j[1][2]*j[2][0]) +
+		j[0][2]*(j[1][0]*j[2][1]-j[1][1]*j[2][0])
+}
+
+func inv3(j [3][3]float64, det float64) [3][3]float64 {
+	inv := [3][3]float64{
+		{j[1][1]*j[2][2] - j[1][2]*j[2][1], j[0][2]*j[2][1] - j[0][1]*j[2][2], j[0][1]*j[1][2] - j[0][2]*j[1][1]},
+		{j[1][2]*j[2][0] - j[1][0]*j[2][2], j[0][0]*j[2][2] - j[0][2]*j[2][0], j[0][2]*j[1][0] - j[0][0]*j[1][2]},
+		{j[1][0]*j[2][1] - j[1][1]*j[2][0], j[0][1]*j[2][0] - j[0][0]*j[2][1], j[0][0]*j[1][1] - j[0][1]*j[1][0]},
+	}
+	for a := range inv {
+		for b := range inv[a] {
+			inv[a][b] /= det
+		}
+	}
+	return inv
+}
+
+// Pos returns the physical position of global node n.
+func (mg *MappedGrid) Pos(n int) geometry.Vec3 { return mg.pos[n] }
+
+// NewField allocates a nodal field.
+func (mg *MappedGrid) NewField() []float64 { return mg.Ref.NewField() }
+
+// FillField samples fn at the physical node positions.
+func (mg *MappedGrid) FillField(f []float64, fn func(p geometry.Vec3) float64) {
+	for n := range f {
+		f[n] = fn(mg.pos[n])
+	}
+}
+
+// Integrate returns the physical-domain integral of a nodal field.
+func (mg *MappedGrid) Integrate(f []float64) float64 {
+	var s float64
+	for n, v := range f {
+		s += mg.mass[n] * v
+	}
+	return s
+}
+
+// ApplyStiffness computes y += K x with the full metric tensor.
+func (mg *MappedGrid) ApplyStiffness(y, x []float64) {
+	ref := mg.Ref
+	p := ref.P
+	nq := p + 1
+	w := ref.Basis.Weights
+	d := ref.Basis.D
+	// Element-local reference derivatives include the per-direction affine
+	// factor of the sub-element mapping.
+	invJ := [3]float64{1 / ref.Jx, 1 / ref.Jy, 1 / ref.Jz}
+	jref := ref.Jx * ref.Jy * ref.Jz
+
+	loc := make([]float64, nq*nq*nq)
+	du := [3][]float64{make([]float64, nq*nq*nq), make([]float64, nq*nq*nq), make([]float64, nq*nq*nq)}
+	v := [3][]float64{make([]float64, nq*nq*nq), make([]float64, nq*nq*nq), make([]float64, nq*nq*nq)}
+	lid := func(i, j, k int) int { return i + nq*(j+nq*k) }
+
+	ref.forEachElement(func(ex, ey, ez int) {
+		for k := 0; k < nq; k++ {
+			for j := 0; j < nq; j++ {
+				for i := 0; i < nq; i++ {
+					loc[lid(i, j, k)] = x[ref.gid(ex, ey, ez, i, j, k)]
+				}
+			}
+		}
+		// Reference derivatives du/dξa at every local node.
+		for k := 0; k < nq; k++ {
+			for j := 0; j < nq; j++ {
+				for i := 0; i < nq; i++ {
+					var s0, s1, s2 float64
+					for q := 0; q < nq; q++ {
+						s0 += d[i][q] * loc[lid(q, j, k)]
+						s1 += d[j][q] * loc[lid(i, q, k)]
+						s2 += d[k][q] * loc[lid(i, j, q)]
+					}
+					n := lid(i, j, k)
+					du[0][n] = s0 * invJ[0]
+					du[1][n] = s1 * invJ[1]
+					du[2][n] = s2 * invJ[2]
+				}
+			}
+		}
+		// Metric contraction: v_a = w detJ Σ_b G_ab du_b.
+		for k := 0; k < nq; k++ {
+			for j := 0; j < nq; j++ {
+				for i := 0; i < nq; i++ {
+					n := lid(i, j, k)
+					gn := ref.gid(ex, ey, ez, i, j, k)
+					c := w[i] * w[j] * w[k] * jref * mg.detJ[gn]
+					g := &mg.ginv[gn]
+					for a := 0; a < 3; a++ {
+						v[a][n] = c * (g[a][0]*du[0][n] + g[a][1]*du[1][n] + g[a][2]*du[2][n])
+					}
+				}
+			}
+		}
+		// Apply Dᵀ per direction with the affine factors.
+		for k := 0; k < nq; k++ {
+			for j := 0; j < nq; j++ {
+				for i := 0; i < nq; i++ {
+					var s float64
+					for q := 0; q < nq; q++ {
+						s += d[q][i] * v[0][lid(q, j, k)] * invJ[0]
+						s += d[q][j] * v[1][lid(i, q, k)] * invJ[1]
+						s += d[q][k] * v[2][lid(i, j, q)] * invJ[2]
+					}
+					y[ref.gid(ex, ey, ez, i, j, k)] += s
+				}
+			}
+		}
+	})
+}
+
+// stiffnessDiag assembles the diagonal of the curvilinear stiffness matrix,
+// keeping the same-direction (a = b) metric terms — the off-diagonal metric
+// blocks contribute to diag(K) only through D-matrix diagonal products,
+// which are subdominant for preconditioning purposes.
+func (mg *MappedGrid) stiffnessDiag() []float64 {
+	ref := mg.Ref
+	p := ref.P
+	nq := p + 1
+	w := ref.Basis.Weights
+	d := ref.Basis.D
+	invJ2 := [3]float64{1 / (ref.Jx * ref.Jx), 1 / (ref.Jy * ref.Jy), 1 / (ref.Jz * ref.Jz)}
+	jref := ref.Jx * ref.Jy * ref.Jz
+	diag := mg.NewField()
+	ref.forEachElement(func(ex, ey, ez int) {
+		for k := 0; k < nq; k++ {
+			for j := 0; j < nq; j++ {
+				for i := 0; i < nq; i++ {
+					var s float64
+					for q := 0; q < nq; q++ {
+						gq := ref.gid(ex, ey, ez, q, j, k)
+						s += w[q] * w[j] * w[k] * jref * mg.detJ[gq] * mg.ginv[gq][0][0] * d[q][i] * d[q][i] * invJ2[0]
+						gq = ref.gid(ex, ey, ez, i, q, k)
+						s += w[i] * w[q] * w[k] * jref * mg.detJ[gq] * mg.ginv[gq][1][1] * d[q][j] * d[q][j] * invJ2[1]
+						gq = ref.gid(ex, ey, ez, i, j, q)
+						s += w[i] * w[j] * w[q] * jref * mg.detJ[gq] * mg.ginv[gq][2][2] * d[q][k] * d[q][k] * invJ2[2]
+					}
+					diag[ref.gid(ex, ey, ez, i, j, k)] += s
+				}
+			}
+		}
+	})
+	return diag
+}
+
+// mappedOp is the masked Helmholtz operator on the curved domain.
+type mappedOp struct {
+	mg     *MappedGrid
+	lambda float64
+	mask   []bool
+}
+
+func (o mappedOp) Dim() int { return o.mg.Ref.NumNodes() }
+
+func (o mappedOp) Apply(y, x []float64) {
+	for i := range y {
+		y[i] = 0
+	}
+	o.mg.ApplyStiffness(y, x)
+	if o.lambda != 0 {
+		for i := range y {
+			y[i] += o.lambda * o.mg.mass[i] * x[i]
+		}
+	}
+	if o.mask != nil {
+		for i, m := range o.mask {
+			if m {
+				y[i] = x[i]
+			}
+		}
+	}
+}
+
+// SolveHelmholtzDirichlet solves (lambda - ∇²) u = f on the curved domain
+// with Dirichlet data gBC on the whole boundary (both sampled at physical
+// node positions).
+func (mg *MappedGrid) SolveHelmholtzDirichlet(lambda float64, f, gBC []float64, tol float64, maxIter int) ([]float64, error) {
+	ref := mg.Ref
+	mask := ref.BoundaryMask()
+	ug := mg.NewField()
+	for i, m := range mask {
+		if m {
+			ug[i] = gBC[i]
+		}
+	}
+	b := mg.NewField()
+	op := mappedOp{mg: mg, lambda: lambda}
+	op.Apply(b, ug)
+	for i := range b {
+		b[i] = mg.mass[i]*f[i] - b[i]
+	}
+	for i, m := range mask {
+		if m {
+			b[i] = 0
+		}
+	}
+	diag := mg.stiffnessDiag()
+	for i := range diag {
+		diag[i] += lambda * mg.mass[i]
+		if mask[i] {
+			diag[i] = 1
+		}
+	}
+	x := mg.NewField()
+	mop := mappedOp{mg: mg, lambda: lambda, mask: mask}
+	res, err := linalg.CG(mop, x, b, linalg.NewJacobiPrec(diag), tol, maxIter)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Converged {
+		return nil, fmt.Errorf("nektar3d: mapped Helmholtz CG stalled at %g after %d iterations", res.Residual, res.Iterations)
+	}
+	for i := range x {
+		x[i] += ug[i]
+	}
+	return x, nil
+}

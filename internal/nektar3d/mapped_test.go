@@ -1,0 +1,184 @@
+package nektar3d
+
+import (
+	"math"
+	"testing"
+
+	"nektarg/internal/geometry"
+)
+
+// gentleWarp deforms the unit box smoothly without folding.
+func gentleWarp() Mapping {
+	const a = 0.08
+	return Mapping{
+		X: func(xi, eta, zeta float64) geometry.Vec3 {
+			return geometry.Vec3{
+				X: xi + a*math.Sin(math.Pi*xi)*math.Sin(math.Pi*eta),
+				Y: eta + a*math.Sin(math.Pi*eta)*math.Sin(math.Pi*zeta),
+				Z: zeta,
+			}
+		},
+		Jac: func(xi, eta, zeta float64) [3][3]float64 {
+			return [3][3]float64{
+				{1 + a*math.Pi*math.Cos(math.Pi*xi)*math.Sin(math.Pi*eta),
+					a * math.Pi * math.Sin(math.Pi*xi) * math.Cos(math.Pi*eta), 0},
+				{0,
+					1 + a*math.Pi*math.Cos(math.Pi*eta)*math.Sin(math.Pi*zeta),
+					a * math.Pi * math.Sin(math.Pi*eta) * math.Cos(math.Pi*zeta)},
+				{0, 0, 1},
+			}
+		},
+	}
+}
+
+func TestMappedIdentityMatchesAffine(t *testing.T) {
+	// With the identity mapping the mapped operator must agree with the
+	// affine Grid operator.
+	mg := NewMappedGrid(2, 2, 2, 4, IdentityMapping(1, 2, 3))
+	g := NewGrid(2, 2, 2, 4, 1, 2, 3, false, false, false)
+	x := g.NewField()
+	g.FillField(x, func(px, py, pz float64) float64 {
+		return math.Sin(px) * math.Cos(py) * pz
+	})
+	y1 := g.NewField()
+	g.ApplyStiffness(y1, x)
+	y2 := mg.NewField()
+	mg.ApplyStiffness(y2, x)
+	for i := range y1 {
+		if math.Abs(y1[i]-y2[i]) > 1e-9*(1+math.Abs(y1[i])) {
+			t.Fatalf("node %d: affine %v mapped %v", i, y1[i], y2[i])
+		}
+	}
+}
+
+func TestMappedMassIntegratesVolume(t *testing.T) {
+	// Identity box volume.
+	mg := NewMappedGrid(2, 2, 2, 5, IdentityMapping(1, 2, 3))
+	ones := mg.NewField()
+	for i := range ones {
+		ones[i] = 1
+	}
+	if v := mg.Integrate(ones); math.Abs(v-6) > 1e-10 {
+		t.Fatalf("identity volume = %v", v)
+	}
+	// Bent channel: volume is arc length x cross-section = theta*arcR*w*h.
+	arcR, theta, w, h := 4.0, math.Pi/3, 1.0, 0.5
+	bc := NewMappedGrid(4, 2, 1, 5, BentChannelMapping(arcR, theta, w, h))
+	bones := bc.NewField()
+	for i := range bones {
+		bones[i] = 1
+	}
+	want := theta * arcR * w * h
+	if v := bc.Integrate(bones); math.Abs(v-want)/want > 1e-10 {
+		t.Fatalf("bent volume = %v want %v", v, want)
+	}
+}
+
+func TestMappedStiffnessSymmetricPSD(t *testing.T) {
+	mg := NewMappedGrid(2, 2, 2, 3, gentleWarp())
+	n := mg.Ref.NumNodes()
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(float64(3*i + 1))
+		y[i] = math.Cos(float64(2*i + 5))
+	}
+	kx := make([]float64, n)
+	ky := make([]float64, n)
+	mg.ApplyStiffness(kx, x)
+	mg.ApplyStiffness(ky, y)
+	var xky, ykx, xkx float64
+	for i := range x {
+		xky += x[i] * ky[i]
+		ykx += y[i] * kx[i]
+		xkx += x[i] * kx[i]
+	}
+	if math.Abs(xky-ykx) > 1e-9*(1+math.Abs(xky)) {
+		t.Fatalf("mapped K not symmetric: %v vs %v", xky, ykx)
+	}
+	if xkx < 0 {
+		t.Fatalf("mapped K not PSD: %v", xkx)
+	}
+	// Constants annihilated.
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	kones := make([]float64, n)
+	mg.ApplyStiffness(kones, ones)
+	for i, v := range kones {
+		if math.Abs(v) > 1e-9 {
+			t.Fatalf("K const != 0 at %d: %v", i, v)
+		}
+	}
+}
+
+// mappedManufactured solves (lambda - ∇²)u = f on the warped domain with
+// exact solution u(x,y,z) = sin(x) cos(y) + z² and returns the max error.
+func mappedManufactured(t *testing.T, p int) float64 {
+	t.Helper()
+	lambda := 2.0
+	mg := NewMappedGrid(2, 2, 2, p, gentleWarp())
+	exact := func(pt geometry.Vec3) float64 {
+		return math.Sin(pt.X)*math.Cos(pt.Y) + pt.Z*pt.Z
+	}
+	// ∇²u = -2 sin(x)cos(y) + 2 → f = (lambda+2) sin cos + lambda z² - 2.
+	f := mg.NewField()
+	mg.FillField(f, func(pt geometry.Vec3) float64 {
+		return (lambda+2)*math.Sin(pt.X)*math.Cos(pt.Y) + lambda*pt.Z*pt.Z - 2
+	})
+	gBC := mg.NewField()
+	mg.FillField(gBC, exact)
+	u, err := mg.SolveHelmholtzDirichlet(lambda, f, gBC, 1e-11, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxErr float64
+	for n := range u {
+		if d := math.Abs(u[n] - exact(mg.Pos(n))); d > maxErr {
+			maxErr = d
+		}
+	}
+	return maxErr
+}
+
+func TestMappedHelmholtzManufactured(t *testing.T) {
+	if e := mappedManufactured(t, 6); e > 1e-5 {
+		t.Fatalf("max error = %g", e)
+	}
+}
+
+func TestMappedHelmholtzSpectralConvergence(t *testing.T) {
+	e3 := mappedManufactured(t, 3)
+	e6 := mappedManufactured(t, 6)
+	t.Logf("curved-domain Helmholtz error: P3 %.3e, P6 %.3e", e3, e6)
+	if e6 > e3/30 {
+		t.Fatalf("no spectral decay on curved domain: P3 %g P6 %g", e3, e6)
+	}
+}
+
+func TestMappedGridRejectsFoldedMapping(t *testing.T) {
+	folded := Mapping{
+		X: func(xi, eta, zeta float64) geometry.Vec3 {
+			return geometry.Vec3{X: -xi, Y: eta, Z: zeta} // negative Jacobian
+		},
+		Jac: func(_, _, _ float64) [3][3]float64 {
+			return [3][3]float64{{-1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+		},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on folded mapping")
+		}
+	}()
+	NewMappedGrid(1, 1, 1, 2, folded)
+}
+
+func TestBentChannelMappingPanicsOnTightBend(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BentChannelMapping(0.4, 1, 1, 1)
+}

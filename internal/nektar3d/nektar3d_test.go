@@ -1,0 +1,349 @@
+package nektar3d
+
+import (
+	"math"
+	"testing"
+
+	"nektarg/internal/geometry"
+)
+
+func TestGridNodeCounts(t *testing.T) {
+	g := NewGrid(2, 3, 4, 4, 1, 1, 1, false, false, false)
+	if g.Nx != 9 || g.Ny != 13 || g.Nz != 17 {
+		t.Fatalf("nodes = %d %d %d", g.Nx, g.Ny, g.Nz)
+	}
+	gp := NewGrid(2, 3, 4, 4, 1, 1, 1, true, true, true)
+	if gp.Nx != 8 || gp.Ny != 12 || gp.Nz != 16 {
+		t.Fatalf("periodic nodes = %d %d %d", gp.Nx, gp.Ny, gp.Nz)
+	}
+}
+
+func TestMassIntegratesVolume(t *testing.T) {
+	g := NewGrid(2, 2, 2, 5, 2, 3, 4, false, false, false)
+	f := g.NewField()
+	for i := range f {
+		f[i] = 1
+	}
+	if v := g.Integrate(f); math.Abs(v-24) > 1e-10 {
+		t.Fatalf("volume integral = %v", v)
+	}
+	if m := g.Mean(f); math.Abs(m-1) > 1e-12 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestMassIntegratesPolynomialExactly(t *testing.T) {
+	g := NewGrid(2, 2, 2, 4, 1, 1, 1, false, false, false)
+	f := g.NewField()
+	g.FillField(f, func(x, y, z float64) float64 { return x * x * y * z })
+	// ∫ x^2 y z over unit cube = (1/3)(1/2)(1/2) = 1/12.
+	if v := g.Integrate(f); math.Abs(v-1.0/12) > 1e-12 {
+		t.Fatalf("integral = %v want %v", v, 1.0/12)
+	}
+}
+
+func TestGradientExactOnPolynomial(t *testing.T) {
+	g := NewGrid(2, 2, 2, 5, 1, 2, 3, false, false, false)
+	f := g.NewField()
+	g.FillField(f, func(x, y, z float64) float64 { return x*x + 3*y - z*z*z })
+	fx, fy, fz := g.Gradient(f)
+	for k := 0; k < g.Nz; k++ {
+		for j := 0; j < g.Ny; j++ {
+			for i := 0; i < g.Nx; i++ {
+				n := g.Idx(i, j, k)
+				if math.Abs(fx[n]-2*g.X[i]) > 1e-9 {
+					t.Fatalf("fx(%v) = %v", g.X[i], fx[n])
+				}
+				if math.Abs(fy[n]-3) > 1e-9 {
+					t.Fatalf("fy = %v", fy[n])
+				}
+				if math.Abs(fz[n]+3*g.Z[k]*g.Z[k]) > 1e-8 {
+					t.Fatalf("fz(%v) = %v", g.Z[k], fz[n])
+				}
+			}
+		}
+	}
+}
+
+func TestStiffnessMatchesLaplacianEnergy(t *testing.T) {
+	// For u = sin(pi x) on [0,1]^3 (Dirichlet in x): u^T K u = ∫|∇u|^2
+	// = pi^2/2.
+	g := NewGrid(3, 2, 2, 6, 1, 1, 1, false, true, true)
+	u := g.NewField()
+	g.FillField(u, func(x, y, z float64) float64 { return math.Sin(math.Pi * x) })
+	ku := g.NewField()
+	g.ApplyStiffness(ku, u)
+	var e float64
+	for i := range u {
+		e += u[i] * ku[i]
+	}
+	if math.Abs(e-math.Pi*math.Pi/2) > 1e-6 {
+		t.Fatalf("energy = %v want %v", e, math.Pi*math.Pi/2)
+	}
+}
+
+func TestStiffnessAnnihilatesConstants(t *testing.T) {
+	g := NewGrid(2, 2, 2, 4, 1, 1, 1, true, false, true)
+	u := g.NewField()
+	for i := range u {
+		u[i] = 3.7
+	}
+	ku := g.NewField()
+	g.ApplyStiffness(ku, u)
+	for i, v := range ku {
+		if math.Abs(v) > 1e-10 {
+			t.Fatalf("K const != 0 at %d: %v", i, v)
+		}
+	}
+}
+
+func TestHelmholtzDirichletManufactured(t *testing.T) {
+	// (lambda - ∇²) u = f with u = sin(pi x) sin(pi y) sin(pi z):
+	// f = (lambda + 3 pi^2) u, homogeneous Dirichlet.
+	lambda := 4.0
+	g := NewGrid(2, 2, 2, 7, 1, 1, 1, false, false, false)
+	f := g.NewField()
+	exact := g.NewField()
+	g.FillField(exact, func(x, y, z float64) float64 {
+		return math.Sin(math.Pi*x) * math.Sin(math.Pi*y) * math.Sin(math.Pi*z)
+	})
+	for i := range f {
+		f[i] = (lambda + 3*math.Pi*math.Pi) * exact[i]
+	}
+	u, err := g.SolveHelmholtzDirichlet(lambda, f, g.NewField(), nil, 1e-10, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxErr float64
+	for i := range u {
+		if d := math.Abs(u[i] - exact[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	if maxErr > 1e-5 {
+		t.Fatalf("max error = %g", maxErr)
+	}
+}
+
+func TestHelmholtzSpectralConvergence3D(t *testing.T) {
+	lambda := 1.0
+	errAt := func(p int) float64 {
+		g := NewGrid(2, 2, 2, p, 1, 1, 1, false, false, false)
+		f := g.NewField()
+		exact := g.NewField()
+		g.FillField(exact, func(x, y, z float64) float64 {
+			return math.Sin(math.Pi*x) * math.Sin(math.Pi*y) * math.Sin(math.Pi*z)
+		})
+		for i := range f {
+			f[i] = (lambda + 3*math.Pi*math.Pi) * exact[i]
+		}
+		u, err := g.SolveHelmholtzDirichlet(lambda, f, g.NewField(), nil, 1e-12, 8000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m float64
+		for i := range u {
+			if d := math.Abs(u[i] - exact[i]); d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	e3, e6 := errAt(3), errAt(6)
+	if e6 > e3/50 {
+		t.Fatalf("no spectral decay: P3 %g P6 %g", e3, e6)
+	}
+}
+
+func TestPoissonNeumannManufactured(t *testing.T) {
+	// ∇²p = s with p = cos(pi x) cos(pi y) (Neumann-compatible on the unit
+	// box, z-independent): s = -2 pi^2 p.
+	g := NewGrid(3, 3, 1, 6, 1, 1, 1, false, false, false)
+	exact := g.NewField()
+	g.FillField(exact, func(x, y, z float64) float64 {
+		return math.Cos(math.Pi*x) * math.Cos(math.Pi*y)
+	})
+	s := g.NewField()
+	for i := range s {
+		s[i] = -2 * math.Pi * math.Pi * exact[i]
+	}
+	p, err := g.SolvePoissonNeumann(s, nil, 1e-11, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both are mean-free; compare directly.
+	var maxErr float64
+	for i := range p {
+		if d := math.Abs(p[i] - exact[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	if maxErr > 1e-5 {
+		t.Fatalf("max error = %g", maxErr)
+	}
+}
+
+func TestSampleReproducesPolynomial(t *testing.T) {
+	g := NewGrid(2, 2, 2, 4, 1, 2, 3, false, false, false)
+	f := g.NewField()
+	g.FillField(f, func(x, y, z float64) float64 { return x*y + z*z })
+	pts := []geometry.Vec3{
+		{X: 0.3, Y: 1.1, Z: 0.7},
+		{X: 0.5, Y: 1.0, Z: 1.5}, // element boundary
+		{X: 0, Y: 0, Z: 0},       // corner
+		{X: 1, Y: 2, Z: 3},       // far corner
+	}
+	for _, p := range pts {
+		want := p.X*p.Y + p.Z*p.Z
+		if got := g.Sample(f, p); math.Abs(got-want) > 1e-10 {
+			t.Fatalf("Sample(%v) = %v want %v", p, got, want)
+		}
+	}
+}
+
+func TestSamplePeriodicWraps(t *testing.T) {
+	g := NewGrid(4, 1, 1, 4, 2, 1, 1, true, true, true)
+	f := g.NewField()
+	g.FillField(f, func(x, y, z float64) float64 { return math.Sin(math.Pi * x) })
+	a := g.Sample(f, geometry.Vec3{X: 0.3, Y: 0.5, Z: 0.5})
+	b := g.Sample(f, geometry.Vec3{X: 2.3, Y: 0.5, Z: 0.5})
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("periodic sample differs: %v vs %v", a, b)
+	}
+}
+
+func TestFaceTraceAndPointsConsistent(t *testing.T) {
+	g := NewGrid(2, 2, 2, 3, 1, 1, 1, false, false, false)
+	f := g.NewField()
+	g.FillField(f, func(x, y, z float64) float64 { return x + 10*y + 100*z })
+	for _, face := range []string{"x0", "x1", "y0", "y1", "z0", "z1"} {
+		tr := g.FaceTrace(f, face)
+		pts := g.FacePoints(face)
+		if len(tr) != len(pts) {
+			t.Fatalf("%s: %d values, %d points", face, len(tr), len(pts))
+		}
+		for i := range tr {
+			want := pts[i].X + 10*pts[i].Y + 100*pts[i].Z
+			if math.Abs(tr[i]-want) > 1e-12 {
+				t.Fatalf("%s[%d] = %v want %v", face, i, tr[i], want)
+			}
+		}
+	}
+}
+
+// TestPoiseuilleChannel drives flow between walls at z=0, z=Lz with a
+// constant body force; the steady profile must match u(z) = f z (Lz - z) /
+// (2 nu).
+func TestPoiseuilleChannel(t *testing.T) {
+	nu := 0.5
+	forceX := 1.0
+	lz := 1.0
+	g := NewGrid(1, 1, 3, 5, 1, 1, lz, true, true, false)
+	s := NewSolver(g, nu, 0.01)
+	s.Force = func(tm, x, y, z float64) (float64, float64, float64) { return forceX, 0, 0 }
+	// Start from the analytic profile scaled down to test convergence.
+	if err := s.Run(300); err != nil {
+		t.Fatal(err)
+	}
+	var maxErr float64
+	for k := 0; k < g.Nz; k++ {
+		z := g.Z[k]
+		want := forceX * z * (lz - z) / (2 * nu)
+		got := s.U[g.Idx(0, 0, k)]
+		if d := math.Abs(got - want); d > maxErr {
+			maxErr = d
+		}
+	}
+	if maxErr > 2e-3 {
+		t.Fatalf("Poiseuille max error = %g", maxErr)
+	}
+	if s.MaxDivergence() > 0.05 {
+		t.Fatalf("divergence = %g", s.MaxDivergence())
+	}
+}
+
+// TestTaylorGreenDecay checks the viscous decay rate of a 2D Taylor-Green
+// vortex on a fully periodic box: E(t) = E(0) exp(-4 nu t) for the
+// (sin x cos y, -cos x sin y) mode on [0, 2pi]^2.
+func TestTaylorGreenDecay(t *testing.T) {
+	nu := 0.05
+	l := 2 * math.Pi
+	g := NewGrid(3, 3, 1, 6, l, l, 1, true, true, true)
+	s := NewSolver(g, nu, 0.005)
+	s.SetInitial(func(x, y, z float64) (float64, float64, float64) {
+		return math.Sin(x) * math.Cos(y), -math.Cos(x) * math.Sin(y), 0
+	})
+	e0 := s.KineticEnergy()
+	if err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	e1 := s.KineticEnergy()
+	want := e0 * math.Exp(-4*nu*s.Time)
+	if math.Abs(e1-want)/want > 0.02 {
+		t.Fatalf("energy %v want %v (ratio %v)", e1, want, e1/want)
+	}
+}
+
+// TestWomersleyPhaseLag: an oscillating body force in a channel produces an
+// oscillating flow whose amplitude is below the quasi-steady Poiseuille
+// amplitude (inertia) — the defining Womersley effect. We check amplitude
+// attenuation at moderate Womersley number.
+func TestWomersleyAttenuation(t *testing.T) {
+	nu := 0.05
+	lz := 1.0
+	omega := 2 * math.Pi // Womersley alpha = (Lz/2) sqrt(omega/nu) ~ 5.6
+	g := NewGrid(1, 1, 3, 5, 1, 1, lz, true, true, false)
+	s := NewSolver(g, nu, 0.002)
+	s.Force = func(tm, x, y, z float64) (float64, float64, float64) {
+		return math.Cos(omega * tm), 0, 0
+	}
+	// Run two periods, record centerline max during the second.
+	steps := int(2 * 2 * math.Pi / omega / s.Dt)
+	var peak float64
+	for i := 0; i < steps; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if i > steps/2 {
+			c := math.Abs(s.U[g.Idx(0, 0, g.Nz/2)])
+			if c > peak {
+				peak = c
+			}
+		}
+	}
+	quasiSteady := 1.0 * lz * lz / (8 * nu) // Poiseuille centerline for unit force
+	if peak >= 0.8*quasiSteady {
+		t.Fatalf("no inertial attenuation: peak %v vs quasi-steady %v", peak, quasiSteady)
+	}
+	if peak < 0.01*quasiSteady {
+		t.Fatalf("flow nearly frozen: peak %v", peak)
+	}
+}
+
+func TestDivergenceFreeAfterProjection(t *testing.T) {
+	// Start from a strongly divergent field; one step must reduce max
+	// divergence substantially.
+	g := NewGrid(2, 2, 2, 5, 1, 1, 1, true, true, true)
+	s := NewSolver(g, 0.1, 0.01)
+	s.SetInitial(func(x, y, z float64) (float64, float64, float64) {
+		return math.Sin(2 * math.Pi * x), math.Sin(2 * math.Pi * y), 0
+	})
+	div0 := s.MaxDivergence()
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	div1 := s.MaxDivergence()
+	if div1 > div0/5 {
+		t.Fatalf("projection ineffective: %g -> %g", div0, div1)
+	}
+}
+
+func TestSolverPanicsOnBadParams(t *testing.T) {
+	g := NewGrid(1, 1, 1, 2, 1, 1, 1, true, true, true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSolver(g, 0, 0.1)
+}

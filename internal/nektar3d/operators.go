@@ -1,0 +1,350 @@
+package nektar3d
+
+import (
+	"fmt"
+	"math"
+
+	"nektarg/internal/linalg"
+)
+
+// ApplyStiffness computes y += K x where K is the assembled C0 stiffness
+// matrix ∫ ∇φ·∇ψ (the SPD discrete negative Laplacian), via element-local
+// tensor-product applies: for each direction, y_loc += D^T (c ∘ (D x_loc))
+// with c the quadrature/metric coefficient.
+func (g *Grid) ApplyStiffness(y, x []float64) {
+	p := g.P
+	nq := p + 1
+	w := g.Basis.Weights
+	d := g.Basis.D
+	cx := g.Jy * g.Jz / g.Jx
+	cy := g.Jx * g.Jz / g.Jy
+	cz := g.Jx * g.Jy / g.Jz
+
+	loc := make([]float64, nq*nq*nq)
+	out := make([]float64, nq*nq*nq)
+	tmp := make([]float64, nq)
+	lid := func(i, j, k int) int { return i + nq*(j+nq*k) }
+
+	g.forEachElement(func(ex, ey, ez int) {
+		for k := 0; k < nq; k++ {
+			for j := 0; j < nq; j++ {
+				for i := 0; i < nq; i++ {
+					loc[lid(i, j, k)] = x[g.gid(ex, ey, ez, i, j, k)]
+					out[lid(i, j, k)] = 0
+				}
+			}
+		}
+		// X-direction lines.
+		for k := 0; k < nq; k++ {
+			for j := 0; j < nq; j++ {
+				for q := 0; q < nq; q++ {
+					var s float64
+					for i := 0; i < nq; i++ {
+						s += d[q][i] * loc[lid(i, j, k)]
+					}
+					tmp[q] = s * w[q] * w[j] * w[k] * cx
+				}
+				for i := 0; i < nq; i++ {
+					var s float64
+					for q := 0; q < nq; q++ {
+						s += d[q][i] * tmp[q]
+					}
+					out[lid(i, j, k)] += s
+				}
+			}
+		}
+		// Y-direction lines.
+		for k := 0; k < nq; k++ {
+			for i := 0; i < nq; i++ {
+				for q := 0; q < nq; q++ {
+					var s float64
+					for j := 0; j < nq; j++ {
+						s += d[q][j] * loc[lid(i, j, k)]
+					}
+					tmp[q] = s * w[i] * w[q] * w[k] * cy
+				}
+				for j := 0; j < nq; j++ {
+					var s float64
+					for q := 0; q < nq; q++ {
+						s += d[q][j] * tmp[q]
+					}
+					out[lid(i, j, k)] += s
+				}
+			}
+		}
+		// Z-direction lines.
+		for j := 0; j < nq; j++ {
+			for i := 0; i < nq; i++ {
+				for q := 0; q < nq; q++ {
+					var s float64
+					for k := 0; k < nq; k++ {
+						s += d[q][k] * loc[lid(i, j, k)]
+					}
+					tmp[q] = s * w[i] * w[j] * w[q] * cz
+				}
+				for k := 0; k < nq; k++ {
+					var s float64
+					for q := 0; q < nq; q++ {
+						s += d[q][k] * tmp[q]
+					}
+					out[lid(i, j, k)] += s
+				}
+			}
+		}
+		for k := 0; k < nq; k++ {
+			for j := 0; j < nq; j++ {
+				for i := 0; i < nq; i++ {
+					y[g.gid(ex, ey, ez, i, j, k)] += out[lid(i, j, k)]
+				}
+			}
+		}
+	})
+}
+
+// StiffnessDiag assembles the diagonal of K for Jacobi preconditioning.
+func (g *Grid) StiffnessDiag() []float64 {
+	p := g.P
+	nq := p + 1
+	w := g.Basis.Weights
+	d := g.Basis.D
+	cx := g.Jy * g.Jz / g.Jx
+	cy := g.Jx * g.Jz / g.Jy
+	cz := g.Jx * g.Jy / g.Jz
+	diag := g.NewField()
+	g.forEachElement(func(ex, ey, ez int) {
+		for k := 0; k < nq; k++ {
+			for j := 0; j < nq; j++ {
+				for i := 0; i < nq; i++ {
+					var s float64
+					for q := 0; q < nq; q++ {
+						s += w[q] * w[j] * w[k] * cx * d[q][i] * d[q][i]
+						s += w[i] * w[q] * w[k] * cy * d[q][j] * d[q][j]
+						s += w[i] * w[j] * w[q] * cz * d[q][k] * d[q][k]
+					}
+					diag[g.gid(ex, ey, ez, i, j, k)] += s
+				}
+			}
+		}
+	})
+	return diag
+}
+
+// helmholtzOp is the masked operator y = (lambda*M + K) x with identity rows
+// on Dirichlet nodes (x is kept zero there during CG).
+type helmholtzOp struct {
+	g      *Grid
+	lambda float64
+	mask   []bool
+}
+
+func (o helmholtzOp) Dim() int { return o.g.NumNodes() }
+
+func (o helmholtzOp) Apply(y, x []float64) {
+	for i := range y {
+		y[i] = 0
+	}
+	o.g.ApplyStiffness(y, x)
+	if o.lambda != 0 {
+		for i := range y {
+			y[i] += o.lambda * o.g.massDiag[i] * x[i]
+		}
+	}
+	if o.mask != nil {
+		for i, m := range o.mask {
+			if m {
+				y[i] = x[i]
+			}
+		}
+	}
+}
+
+// meanFreePrec wraps a preconditioner with a Euclidean mean projection so CG
+// iterates stay orthogonal to the constant null space of the pure-Neumann
+// Poisson operator. (The operator itself needs no projection: K annihilates
+// constants and 1ᵀKx = 0 exactly, so the Krylov space stays mean-free as
+// long as the preconditioner does not reintroduce a mean component.)
+type meanFreePrec struct {
+	inner linalg.Preconditioner
+}
+
+func (p meanFreePrec) Precondition(z, r []float64) {
+	p.inner.Precondition(z, r)
+	var mean float64
+	for _, v := range z {
+		mean += v
+	}
+	mean /= float64(len(z))
+	for i := range z {
+		z[i] -= mean
+	}
+}
+
+// removeMean subtracts the mass-weighted mean from a field.
+func (g *Grid) removeMean(f []float64) {
+	m := g.Mean(f)
+	for i := range f {
+		f[i] -= m
+	}
+}
+
+// SolveHelmholtzDirichlet solves (lambda*M + K) u = M f with u = gBC on
+// every Dirichlet (non-periodic boundary) node; f and gBC are nodal fields
+// (gBC consulted on the mask only). Overwrites and returns u; uInit provides
+// the initial guess ("predicting a good initial state").
+func (g *Grid) SolveHelmholtzDirichlet(lambda float64, f, gBC, uInit []float64, tol float64, maxIter int) ([]float64, error) {
+	mask := g.BoundaryMask()
+
+	// Lifting: u = u0 + ug, with ug = gBC on the mask and 0 inside.
+	ug := g.NewField()
+	for i, m := range mask {
+		if m {
+			ug[i] = gBC[i]
+		}
+	}
+	// b = M f - (lambda M + K) ug, restricted to interior.
+	b := g.NewField()
+	op := helmholtzOp{g: g, lambda: lambda}
+	op.Apply(b, ug)
+	for i := range b {
+		b[i] = g.massDiag[i]*f[i] - b[i]
+	}
+	for i, m := range mask {
+		if m {
+			b[i] = 0
+		}
+	}
+
+	// Initial interior guess from uInit (zero on mask for the CG subspace).
+	x := g.NewField()
+	if uInit != nil {
+		copy(x, uInit)
+		for i, m := range mask {
+			if m {
+				x[i] = 0
+			} else {
+				x[i] -= ug[i] // uInit approximates the full solution
+			}
+		}
+	}
+	diag := g.StiffnessDiag()
+	for i := range diag {
+		diag[i] += lambda * g.massDiag[i]
+	}
+	for i, m := range mask {
+		if m {
+			diag[i] = 1
+		}
+	}
+	mop := helmholtzOp{g: g, lambda: lambda, mask: mask}
+	res, err := linalg.CG(mop, x, b, linalg.NewJacobiPrec(diag), tol, maxIter)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Converged {
+		return nil, fmt.Errorf("nektar3d: Helmholtz CG stalled at %g after %d iterations", res.Residual, res.Iterations)
+	}
+	for i := range x {
+		x[i] += ug[i]
+	}
+	return x, nil
+}
+
+// SolvePoissonNeumann solves K p = -M s (that is, ∇²p = s weakly) with
+// homogeneous Neumann boundaries on all non-periodic faces. The constant
+// null space is removed from both right-hand side and solution. pInit seeds
+// CG.
+func (g *Grid) SolvePoissonNeumann(s, pInit []float64, tol float64, maxIter int) ([]float64, error) {
+	n := g.NumNodes()
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = -g.massDiag[i] * s[i]
+	}
+	// Orthogonalize the RHS against constants (compatibility condition).
+	var mean float64
+	for i := range b {
+		mean += b[i]
+	}
+	for i := range b {
+		b[i] -= mean / float64(n)
+	}
+
+	x := make([]float64, n)
+	if pInit != nil {
+		copy(x, pInit)
+		var mean float64
+		for _, v := range x {
+			mean += v
+		}
+		mean /= float64(n)
+		for i := range x {
+			x[i] -= mean
+		}
+	}
+	diag := g.StiffnessDiag()
+	op := helmholtzOp{g: g, lambda: 0}
+	prec := meanFreePrec{inner: linalg.NewJacobiPrec(diag)}
+	res, err := linalg.CG(op, x, b, prec, tol, maxIter)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Converged && res.Residual > math.Sqrt(tol) {
+		return nil, fmt.Errorf("nektar3d: Poisson CG stalled at %g after %d iterations", res.Residual, res.Iterations)
+	}
+	g.removeMean(x)
+	return x, nil
+}
+
+// Gradient computes the collocation gradient of a nodal field, averaging the
+// (discontinuous) element derivatives at shared nodes.
+func (g *Grid) Gradient(f []float64) (fx, fy, fz []float64) {
+	nq := g.P + 1
+	d := g.Basis.D
+	fx = g.NewField()
+	fy = g.NewField()
+	fz = g.NewField()
+	loc := make([]float64, nq*nq*nq)
+	lid := func(i, j, k int) int { return i + nq*(j+nq*k) }
+	g.forEachElement(func(ex, ey, ez int) {
+		for k := 0; k < nq; k++ {
+			for j := 0; j < nq; j++ {
+				for i := 0; i < nq; i++ {
+					loc[lid(i, j, k)] = f[g.gid(ex, ey, ez, i, j, k)]
+				}
+			}
+		}
+		for k := 0; k < nq; k++ {
+			for j := 0; j < nq; j++ {
+				for i := 0; i < nq; i++ {
+					var sx, sy, sz float64
+					for q := 0; q < nq; q++ {
+						sx += d[i][q] * loc[lid(q, j, k)]
+						sy += d[j][q] * loc[lid(i, q, k)]
+						sz += d[k][q] * loc[lid(i, j, q)]
+					}
+					n := g.gid(ex, ey, ez, i, j, k)
+					fx[n] += sx / g.Jx
+					fy[n] += sy / g.Jy
+					fz[n] += sz / g.Jz
+				}
+			}
+		}
+	})
+	for i := range fx {
+		fx[i] /= g.mult[i]
+		fy[i] /= g.mult[i]
+		fz[i] /= g.mult[i]
+	}
+	return fx, fy, fz
+}
+
+// Divergence computes ∇·(u,v,w) via collocation gradients.
+func (g *Grid) Divergence(u, v, w []float64) []float64 {
+	ux, _, _ := g.Gradient(u)
+	_, vy, _ := g.Gradient(v)
+	_, _, wz := g.Gradient(w)
+	div := g.NewField()
+	for i := range div {
+		div[i] = ux[i] + vy[i] + wz[i]
+	}
+	return div
+}

@@ -1,0 +1,74 @@
+package nektar3d
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWallShearStressPoiseuille(t *testing.T) {
+	// u(z) = z(1-z)/(2ν) · f with f=1: du/dz at z=0 is 1/(2ν); WSS = ρν ·
+	// du/dz = 1/2 at each wall (towards the flow), independent of ν.
+	nu := 0.5
+	g := NewGrid(1, 1, 3, 5, 1, 1, 1, true, true, false)
+	s := NewSolver(g, nu, 0.01)
+	s.SetInitial(func(x, y, z float64) (float64, float64, float64) {
+		return z * (1 - z) / (2 * nu), 0, 0
+	})
+	for _, face := range []string{"z0", "z1"} {
+		wss := s.WallShearStress(face, 0)
+		for i, v := range wss {
+			if math.Abs(v-0.5) > 1e-9 {
+				t.Fatalf("%s node %d: WSS = %v want 0.5", face, i, v)
+			}
+		}
+		if m := s.MeanWallShearStress(face, 0); math.Abs(m-0.5) > 1e-9 {
+			t.Fatalf("%s mean WSS = %v", face, m)
+		}
+	}
+}
+
+func TestWallShearStressCouette(t *testing.T) {
+	// Linear shear u = γ z: WSS = ν γ on both walls.
+	nu := 0.2
+	gamma := 3.0
+	g := NewGrid(1, 1, 2, 4, 1, 1, 1, true, true, false)
+	s := NewSolver(g, nu, 0.01)
+	s.SetInitial(func(x, y, z float64) (float64, float64, float64) {
+		return gamma * z, 0, 0
+	})
+	if m := s.MeanWallShearStress("z0", 0); math.Abs(m-nu*gamma) > 1e-10 {
+		t.Fatalf("z0 WSS = %v want %v", m, nu*gamma)
+	}
+	// At the top wall the inward normal is -z, so the same positive shear
+	// appears with opposite sign.
+	if m := s.MeanWallShearStress("z1", 0); math.Abs(m+nu*gamma) > 1e-10 {
+		t.Fatalf("z1 WSS = %v want %v", m, -nu*gamma)
+	}
+}
+
+func TestWallShearStressZeroAtRest(t *testing.T) {
+	g := NewGrid(2, 2, 2, 3, 1, 1, 1, false, false, false)
+	s := NewSolver(g, 0.1, 0.01)
+	for _, face := range []string{"x0", "x1", "y0", "y1", "z0", "z1"} {
+		for tang := 0; tang < 3; tang++ {
+			if m := s.MeanWallShearStress(face, tang); m != 0 {
+				t.Fatalf("%s comp %d: WSS = %v at rest", face, tang, m)
+			}
+		}
+	}
+}
+
+func TestWallShearStressPanics(t *testing.T) {
+	g := NewGrid(1, 1, 1, 2, 1, 1, 1, false, false, false)
+	s := NewSolver(g, 0.1, 0.01)
+	mustPanic := func(fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		fn()
+	}
+	mustPanic(func() { s.WallShearStress("q7", 0) })
+	mustPanic(func() { s.WallShearStress("z0", 5) })
+}

@@ -1,0 +1,275 @@
+package partition
+
+import (
+	"sort"
+
+	"nektarg/internal/mesh"
+)
+
+// Multilevel partitioning, the architecture METIS_PartGraphRecursive actually
+// uses: coarsen the graph by heavy-edge matching until it is small, partition
+// the coarsest graph with the direct recursive-bisection code, then project
+// the assignment back up through the levels, rebalancing and refining at
+// each. On large meshes it both runs faster and cuts less edge weight than
+// direct bisection of the fine graph.
+
+// wgraph is a graph with vertex weights (collapsed fine vertices).
+type wgraph struct {
+	g      *mesh.Graph
+	vw     []int // vertex weights
+	coarse []int // fine vertex -> coarse vertex (for the level below)
+}
+
+// coarsenOnce merges matched vertex pairs chosen by heavy-edge matching:
+// each unmatched vertex pairs with its heaviest-edge unmatched neighbour.
+func coarsenOnce(g *mesh.Graph, vw []int) (*wgraph, bool) {
+	n := g.N
+	match := make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+	// Visit in increasing weight so small vertices merge first (balance).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return vw[order[a]] < vw[order[b]] })
+
+	matched := 0
+	for _, v := range order {
+		if match[v] != -1 {
+			continue
+		}
+		best, bestW := -1, 0.0
+		for _, e := range g.Adj[v] {
+			if match[e.To] == -1 && e.To != v && e.Weight > bestW {
+				best, bestW = e.To, e.Weight
+			}
+		}
+		if best >= 0 {
+			match[v] = best
+			match[best] = v
+			matched += 2
+		} else {
+			match[v] = v // self-matched
+		}
+	}
+	if matched < n/10 {
+		return nil, false // matching stalled; stop coarsening
+	}
+
+	// Number coarse vertices.
+	coarseID := make([]int, n)
+	for i := range coarseID {
+		coarseID[i] = -1
+	}
+	nc := 0
+	for v := 0; v < n; v++ {
+		if coarseID[v] != -1 {
+			continue
+		}
+		coarseID[v] = nc
+		if match[v] != v {
+			coarseID[match[v]] = nc
+		}
+		nc++
+	}
+
+	// Build the coarse graph with summed edge weights.
+	cg := &mesh.Graph{N: nc, Adj: make([][]mesh.Edge, nc)}
+	cvw := make([]int, nc)
+	for v := 0; v < n; v++ {
+		cvw[coarseID[v]] += vw[v]
+	}
+	acc := map[[2]int]float64{}
+	for v := 0; v < n; v++ {
+		cv := coarseID[v]
+		for _, e := range g.Adj[v] {
+			cu := coarseID[e.To]
+			if cu == cv {
+				continue
+			}
+			key := [2]int{cv, cu}
+			if cv > cu {
+				key = [2]int{cu, cv}
+			}
+			acc[key] += e.Weight / 2 // each undirected edge appears twice
+		}
+	}
+	for key, w := range acc {
+		cg.Adj[key[0]] = append(cg.Adj[key[0]], mesh.Edge{To: key[1], Weight: w})
+		cg.Adj[key[1]] = append(cg.Adj[key[1]], mesh.Edge{To: key[0], Weight: w})
+	}
+	return &wgraph{g: cg, vw: cvw, coarse: coarseID}, true
+}
+
+// PartitionMultilevel partitions g into nparts using the multilevel scheme.
+// The returned assignment has the same balance guarantees as Partition (the
+// final level runs weighted rebalancing and boundary refinement).
+func PartitionMultilevel(g *mesh.Graph, nparts int) []int {
+	if nparts < 1 {
+		panic("partition: nparts < 1")
+	}
+	const coarsestSize = 64
+
+	// Coarsening phase.
+	levels := []*wgraph{{g: g, vw: ones(g.N)}}
+	for levels[len(levels)-1].g.N > coarsestSize*nparts {
+		next, ok := coarsenOnce(levels[len(levels)-1].g, levels[len(levels)-1].vw)
+		if !ok {
+			break
+		}
+		levels = append(levels, next)
+	}
+
+	// Initial partition of the coarsest graph (unweighted bisection is
+	// acceptable there; weights are restored during uncoarsening).
+	coarsest := levels[len(levels)-1]
+	parts := Partition(coarsest.g, nparts)
+
+	// Uncoarsening: project and refine level by level.
+	for li := len(levels) - 1; li >= 1; li-- {
+		fineLvl := levels[li-1]
+		proj := make([]int, fineLvl.g.N)
+		for v := range proj {
+			proj[v] = parts[levels[li].coarse[v]]
+		}
+		parts = proj
+		rebalance(fineLvl.g, fineLvl.vw, parts, nparts)
+		refineKWay(fineLvl.g, parts, nparts, 3)
+	}
+	rebalance(g, levels[0].vw, parts, nparts)
+	return parts
+}
+
+func ones(n int) []int {
+	v := make([]int, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// rebalance moves boundary vertices from overfull to underfull parts,
+// preferring moves with the least cut-weight penalty.
+func rebalance(g *mesh.Graph, vw []int, parts []int, nparts int) {
+	total := 0
+	for _, w := range vw {
+		total += w
+	}
+	target := (total + nparts - 1) / nparts
+	size := make([]int, nparts)
+	for v, p := range parts {
+		size[p] += vw[v]
+	}
+	for iter := 0; iter < 4*g.N; iter++ {
+		// Most overfull part.
+		over, overAmt := -1, 0
+		for p, s := range size {
+			if s-target > overAmt {
+				over, overAmt = p, s-target
+			}
+		}
+		if over < 0 {
+			return
+		}
+		// Best boundary vertex of `over` to move to an underfull neighbour
+		// part (or the globally most underfull part).
+		bestV, bestP, bestGain := -1, -1, -1e300
+		for v, p := range parts {
+			if p != over {
+				continue
+			}
+			// Connection weight per candidate destination.
+			conn := map[int]float64{}
+			var internal float64
+			for _, e := range g.Adj[v] {
+				if parts[e.To] == over {
+					internal += e.Weight
+				} else {
+					conn[parts[e.To]] += e.Weight
+				}
+			}
+			for q, w := range conn {
+				if size[q] >= target {
+					continue
+				}
+				if gain := w - internal; gain > bestGain {
+					bestV, bestP, bestGain = v, q, gain
+				}
+			}
+		}
+		if bestV < 0 {
+			// No boundary move available; move any vertex to the most
+			// underfull part to restore balance.
+			underP, underAmt := -1, 0
+			for p, s := range size {
+				if target-s > underAmt {
+					underP, underAmt = p, target-s
+				}
+			}
+			if underP < 0 {
+				return
+			}
+			for v, p := range parts {
+				if p == over {
+					bestV, bestP = v, underP
+					break
+				}
+			}
+			if bestV < 0 {
+				return
+			}
+		}
+		parts[bestV] = bestP
+		size[over] -= vw[bestV]
+		size[bestP] += vw[bestV]
+	}
+}
+
+// refineKWay runs greedy positive-gain boundary moves that preserve part
+// sizes within one vertex (swap-free single moves gated by balance).
+func refineKWay(g *mesh.Graph, parts []int, nparts, passes int) {
+	size := make([]int, nparts)
+	for _, p := range parts {
+		size[p]++
+	}
+	minSize := g.N/nparts - 1
+	maxSize := g.N/nparts + 2
+	for pass := 0; pass < passes; pass++ {
+		improved := false
+		for v := 0; v < g.N; v++ {
+			p := parts[v]
+			if size[p] <= minSize {
+				continue
+			}
+			conn := map[int]float64{}
+			var internal float64
+			for _, e := range g.Adj[v] {
+				if parts[e.To] == p {
+					internal += e.Weight
+				} else {
+					conn[parts[e.To]] += e.Weight
+				}
+			}
+			bestQ, bestGain := -1, 0.0
+			for q, w := range conn {
+				if size[q] >= maxSize {
+					continue
+				}
+				if gain := w - internal; gain > bestGain {
+					bestQ, bestGain = q, gain
+				}
+			}
+			if bestQ >= 0 {
+				parts[v] = bestQ
+				size[p]--
+				size[bestQ]++
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+}

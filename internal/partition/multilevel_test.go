@@ -1,0 +1,110 @@
+package partition
+
+import (
+	"testing"
+
+	"nektarg/internal/mesh"
+)
+
+func TestMultilevelCoversAllPartsBalanced(t *testing.T) {
+	m := mesh.CarotidTets(20, 5, 5)
+	g := m.AdjacencyGraph(mesh.FullAdjacency, 6)
+	for _, np := range []int{2, 4, 8, 16} {
+		parts := PartitionMultilevel(g, np)
+		q := Evaluate(g, parts, np)
+		seen := map[int]bool{}
+		for _, p := range parts {
+			if p < 0 || p >= np {
+				t.Fatalf("np=%d: part %d out of range", np, p)
+			}
+			seen[p] = true
+		}
+		if len(seen) != np {
+			t.Fatalf("np=%d: only %d parts used", np, len(seen))
+		}
+		if q.Imbalance > 1.1 {
+			t.Fatalf("np=%d: imbalance %v", np, q.Imbalance)
+		}
+	}
+}
+
+func TestMultilevelCutCompetitiveWithDirect(t *testing.T) {
+	// On a large graph the multilevel cut must be no worse than ~1.3x the
+	// direct recursive bisection (typically it is better).
+	m := mesh.CarotidTets(28, 6, 6)
+	g := m.AdjacencyGraph(mesh.FullAdjacency, 6)
+	const np = 16
+	direct := Evaluate(g, Partition(g, np), np)
+	multi := Evaluate(g, PartitionMultilevel(g, np), np)
+	t.Logf("edge cut: direct %v, multilevel %v (%.2fx)", direct.EdgeCut, multi.EdgeCut, multi.EdgeCut/direct.EdgeCut)
+	if multi.EdgeCut > 1.3*direct.EdgeCut {
+		t.Fatalf("multilevel cut %v much worse than direct %v", multi.EdgeCut, direct.EdgeCut)
+	}
+}
+
+func TestCoarsenOnceShrinksAndConserves(t *testing.T) {
+	m := mesh.BoxTets(4, 4, 4, 1, 1, 1)
+	g := m.AdjacencyGraph(mesh.FaceOnly, 4)
+	vw := ones(g.N)
+	cg, ok := coarsenOnce(g, vw)
+	if !ok {
+		t.Fatal("coarsening stalled on a regular mesh")
+	}
+	if cg.g.N >= g.N {
+		t.Fatalf("coarse graph not smaller: %d vs %d", cg.g.N, g.N)
+	}
+	// Vertex weight conserved.
+	var total int
+	for _, w := range cg.vw {
+		total += w
+	}
+	if total != g.N {
+		t.Fatalf("weight leaked: %d vs %d", total, g.N)
+	}
+	// Projection maps every fine vertex to a valid coarse vertex.
+	for v, c := range cg.coarse {
+		if c < 0 || c >= cg.g.N {
+			t.Fatalf("fine %d -> coarse %d of %d", v, c, cg.g.N)
+		}
+	}
+	// Coarse adjacency symmetric.
+	for a := 0; a < cg.g.N; a++ {
+		for _, e := range cg.g.Adj[a] {
+			found := false
+			for _, back := range cg.g.Adj[e.To] {
+				if back.To == a && back.Weight == e.Weight {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("coarse edge %d-%d not mirrored", a, e.To)
+			}
+		}
+	}
+}
+
+func TestMultilevelSinglePart(t *testing.T) {
+	m := mesh.BoxTets(2, 2, 2, 1, 1, 1)
+	g := m.AdjacencyGraph(mesh.FaceOnly, 2)
+	parts := PartitionMultilevel(g, 1)
+	for _, p := range parts {
+		if p != 0 {
+			t.Fatalf("parts = %v", parts)
+		}
+	}
+}
+
+func TestMultilevelSmallGraphFallsThrough(t *testing.T) {
+	// Graph already below the coarsest threshold: must behave like direct
+	// partitioning.
+	g := &mesh.Graph{N: 8, Adj: make([][]mesh.Edge, 8)}
+	for i := 0; i+1 < 8; i++ {
+		g.Adj[i] = append(g.Adj[i], mesh.Edge{To: i + 1, Weight: 1})
+		g.Adj[i+1] = append(g.Adj[i+1], mesh.Edge{To: i, Weight: 1})
+	}
+	parts := PartitionMultilevel(g, 2)
+	q := Evaluate(g, parts, 2)
+	if q.EdgeCut != 1 {
+		t.Fatalf("path cut = %v (parts %v)", q.EdgeCut, parts)
+	}
+}

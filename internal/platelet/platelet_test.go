@@ -1,0 +1,149 @@
+package platelet
+
+import (
+	"math/rand"
+	"testing"
+
+	"nektarg/internal/dpd"
+	"nektarg/internal/geometry"
+)
+
+// plateletSystem builds a small stagnant two-species box (solvent species 0,
+// platelets species 1) with an adhesion site at the bottom wall.
+func plateletSystem(t *testing.T, delay float64) (*dpd.System, *Model) {
+	t.Helper()
+	p := dpd.DefaultParams(2)
+	p.Dt = 0.005
+	p.KBT = 0.2
+	s := dpd.NewSystem(p, geometry.Vec3{}, geometry.Vec3{X: 6, Y: 6, Z: 4}, [3]bool{true, true, false})
+	s.Walls = []dpd.Wall{
+		&dpd.PlaneWall{Point: geometry.Vec3{}, Norm: geometry.Vec3{Z: 1}},
+		&dpd.PlaneWall{Point: geometry.Vec3{Z: 4}, Norm: geometry.Vec3{Z: -1}},
+	}
+	s.FillRandom(200, 0)
+	m := NewModel(1, []geometry.Vec3{{X: 3, Y: 3, Z: 0.2}}, delay)
+	s.Bonded = append(s.Bonded, m)
+	return s, m
+}
+
+func TestNoAggregationBeforeDelay(t *testing.T) {
+	s, m := plateletSystem(t, 1e9) // effectively infinite delay
+	rng := rand.New(rand.NewSource(1))
+	SeedPlatelets(s, m, 30, geometry.Vec3{X: 2, Y: 2, Z: 0.1}, geometry.Vec3{X: 4, Y: 4, Z: 1}, rng.Float64)
+	s.Run(400)
+	if got := m.ClotSize(s); got != 0 {
+		t.Fatalf("clot formed despite infinite activation delay: %d", got)
+	}
+	passive, triggered, adhered := m.Counts(s)
+	if triggered != 0 || adhered != 0 {
+		t.Fatalf("states: %d/%d/%d", passive, triggered, adhered)
+	}
+}
+
+func TestClotGrowsUnderStagnantFlow(t *testing.T) {
+	s, m := plateletSystem(t, 0.05) // short delay
+	rng := rand.New(rand.NewSource(2))
+	// Seed across the whole channel so most platelets must diffuse to the
+	// growing clot before they can join it.
+	SeedPlatelets(s, m, 60, geometry.Vec3{X: 0.2, Y: 0.2, Z: 0.1}, geometry.Vec3{X: 5.8, Y: 5.8, Z: 3.5}, rng.Float64)
+	sizes := []int{m.ClotSize(s)}
+	for i := 0; i < 20; i++ {
+		s.Run(40)
+		sizes = append(sizes, m.ClotSize(s))
+	}
+	final := sizes[len(sizes)-1]
+	if final < 3 {
+		t.Fatalf("clot did not grow: sizes %v", sizes)
+	}
+	if sizes[0] >= final {
+		t.Fatalf("no growth: sizes %v", sizes)
+	}
+}
+
+func TestActivationRequiresSustainedContact(t *testing.T) {
+	s, m := plateletSystem(t, 0.5)
+	// One platelet far away: never activates.
+	far := s.AddParticle(geometry.Vec3{X: 1, Y: 1, Z: 3.5}, geometry.Vec3{}, 1, false)
+	// One platelet right at the site: activates after the delay.
+	near := s.AddParticle(geometry.Vec3{X: 3, Y: 3, Z: 0.3}, geometry.Vec3{}, 1, false)
+	// Pin both in place so contact timing is deterministic.
+	s.Particles[far].Frozen = false
+	idFar := s.Particles[far].ID
+	idNear := s.Particles[near].ID
+
+	// Advance time without DPD dynamics by calling AddForces directly.
+	for step := 0; step < 200; step++ {
+		s.Time += 0.005
+		for i := range s.Particles {
+			s.Particles[i].F = geometry.Vec3{}
+		}
+		m.AddForces(s)
+		// Keep the near platelet pinned at the site.
+		s.Particles[near].Pos = geometry.Vec3{X: 3, Y: 3, Z: 0.3}
+		s.Particles[far].Pos = geometry.Vec3{X: 1, Y: 1, Z: 3.5}
+	}
+	if m.StateOf(idFar) != Passive {
+		t.Fatalf("far platelet state = %v", m.StateOf(idFar))
+	}
+	if m.StateOf(idNear) == Passive {
+		t.Fatal("near platelet never activated")
+	}
+}
+
+func TestMorseForceSign(t *testing.T) {
+	m := NewModel(1, []geometry.Vec3{{}}, 0)
+	if f := m.morseForce(m.R0); f > 1e-12 || f < -1e-12 {
+		t.Fatalf("force at r0 = %v", f)
+	}
+	if f := m.morseForce(m.R0 + 0.3); f <= 0 {
+		t.Fatalf("no attraction beyond r0: %v", f)
+	}
+	if f := m.morseForce(m.R0 - 0.3); f >= 0 {
+		t.Fatalf("no repulsion inside r0: %v", f)
+	}
+}
+
+func TestFasterFlowSlowsAggregation(t *testing.T) {
+	// Pivkin's headline result: higher flow velocity slows thrombus growth
+	// (platelets are swept past before the activation delay elapses).
+	grow := func(force float64) int {
+		p := dpd.DefaultParams(2)
+		p.Dt = 0.005
+		p.KBT = 0.2
+		p.Seed = 77
+		s := dpd.NewSystem(p, geometry.Vec3{}, geometry.Vec3{X: 8, Y: 4, Z: 4}, [3]bool{true, true, false})
+		s.Walls = []dpd.Wall{
+			&dpd.PlaneWall{Point: geometry.Vec3{}, Norm: geometry.Vec3{Z: 1}},
+			&dpd.PlaneWall{Point: geometry.Vec3{Z: 4}, Norm: geometry.Vec3{Z: -1}},
+		}
+		s.External = func(_ float64, _ *dpd.Particle) geometry.Vec3 {
+			return geometry.Vec3{X: force}
+		}
+		s.FillRandom(250, 0)
+		m := NewModel(1, []geometry.Vec3{{X: 4, Y: 2, Z: 0.2}}, 0.3)
+		s.Bonded = append(s.Bonded, m)
+		rng := rand.New(rand.NewSource(5))
+		// Spread platelets through the channel: the flow controls how long
+		// each one lingers near the injury site.
+		SeedPlatelets(s, m, 50, geometry.Vec3{X: 0.2, Y: 0.2, Z: 0.1}, geometry.Vec3{X: 7.8, Y: 3.8, Z: 3.0}, rng.Float64)
+		s.Run(600)
+		return m.ClotSize(s)
+	}
+	slow := grow(0.0)
+	fast := grow(0.6)
+	if slow < 2 {
+		t.Fatalf("stagnant clot too small to compare: %d", slow)
+	}
+	if fast >= slow {
+		t.Fatalf("fast flow (%d) should aggregate less than stagnant (%d)", fast, slow)
+	}
+}
+
+func TestNewModelPanicsWithoutSites(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewModel(1, nil, 0)
+}

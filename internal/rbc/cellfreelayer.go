@@ -1,0 +1,51 @@
+package rbc
+
+import (
+	"math"
+
+	"nektarg/internal/dpd"
+)
+
+// Cell-free layer analysis (Fedosov, Caswell, Popel & Karniadakis 2010,
+// "Blood flow and cell-free layer in microvessels" — the paper's reference
+// for mesoscale blood rheology): in microvessel flow RBCs migrate away from
+// the walls, leaving a plasma-only sleeve whose width sets the apparent
+// viscosity (the Fahraeus-Lindqvist effect the paper's §2 reviews).
+
+// CellFreeLayer measures the plasma sleeve of a channel along z: the gap
+// between each wall (z = lo and z = hi) and the nearest membrane vertex of
+// any cell. Returns the bottom and top widths.
+func CellFreeLayer(sys *dpd.System, cells []*Membrane, lo, hi float64) (bottom, top float64) {
+	minZ := math.Inf(1)
+	maxZ := math.Inf(-1)
+	for _, m := range cells {
+		for _, idx := range m.Idx {
+			z := sys.Particles[idx].Pos.Z
+			if z < minZ {
+				minZ = z
+			}
+			if z > maxZ {
+				maxZ = z
+			}
+		}
+	}
+	if math.IsInf(minZ, 1) { // no cells: the whole channel is cell-free
+		return hi - lo, hi - lo
+	}
+	return minZ - lo, hi - maxZ
+}
+
+// MeanCellFreeLayer averages the two sleeve widths.
+func MeanCellFreeLayer(sys *dpd.System, cells []*Membrane, lo, hi float64) float64 {
+	b, t := CellFreeLayer(sys, cells, lo, hi)
+	return (b + t) / 2
+}
+
+// Hematocrit returns the volume fraction occupied by the cells in the box.
+func Hematocrit(sys *dpd.System, cells []*Membrane) float64 {
+	var v float64
+	for _, m := range cells {
+		v += m.Volume(sys)
+	}
+	return v / sys.Volume()
+}

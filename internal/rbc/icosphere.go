@@ -1,0 +1,137 @@
+// Package rbc implements the coarse-grained red-blood-cell membrane model
+// the paper's DPD simulations resolve "down to protein-level" (Fedosov,
+// Caswell, Popel & Karniadakis 2010): a triangulated spring network with
+// wormlike-chain elasticity, dihedral bending resistance and global
+// area/volume constraints, plugged into the DPD engine as a bonded force.
+// Healthy and diseased (malaria-stiffened) parameter sets reproduce the two
+// cell populations of Figure 7.
+package rbc
+
+import (
+	"math"
+
+	"nektarg/internal/geometry"
+)
+
+// TriMesh is a closed, vertex-welded triangle mesh.
+type TriMesh struct {
+	Verts []geometry.Vec3
+	Tris  [][3]int
+}
+
+// Icosphere builds a unit icosahedron subdivided `subdiv` times and projected
+// onto a sphere of the given radius around center. Subdivision 1 gives 42
+// vertices; 2 gives 162 — the usual coarse-grained RBC resolutions.
+func Icosphere(center geometry.Vec3, radius float64, subdiv int) *TriMesh {
+	phi := (1 + math.Sqrt(5)) / 2
+	raw := []geometry.Vec3{
+		{X: -1, Y: phi}, {X: 1, Y: phi}, {X: -1, Y: -phi}, {X: 1, Y: -phi},
+		{Y: -1, Z: phi}, {Y: 1, Z: phi}, {Y: -1, Z: -phi}, {Y: 1, Z: -phi},
+		{X: phi, Z: -1}, {X: phi, Z: 1}, {X: -phi, Z: -1}, {X: -phi, Z: 1},
+	}
+	m := &TriMesh{}
+	for _, v := range raw {
+		m.Verts = append(m.Verts, v.Normalized())
+	}
+	m.Tris = [][3]int{
+		{0, 11, 5}, {0, 5, 1}, {0, 1, 7}, {0, 7, 10}, {0, 10, 11},
+		{1, 5, 9}, {5, 11, 4}, {11, 10, 2}, {10, 7, 6}, {7, 1, 8},
+		{3, 9, 4}, {3, 4, 2}, {3, 2, 6}, {3, 6, 8}, {3, 8, 9},
+		{4, 9, 5}, {2, 4, 11}, {6, 2, 10}, {8, 6, 7}, {9, 8, 1},
+	}
+	for s := 0; s < subdiv; s++ {
+		m = m.subdivide()
+	}
+	for i := range m.Verts {
+		m.Verts[i] = center.Add(m.Verts[i].Normalized().Scale(radius))
+	}
+	return m
+}
+
+// subdivide splits every triangle into four, welding midpoint vertices.
+func (m *TriMesh) subdivide() *TriMesh {
+	out := &TriMesh{Verts: append([]geometry.Vec3(nil), m.Verts...)}
+	mid := map[[2]int]int{}
+	midpoint := func(a, b int) int {
+		k := [2]int{a, b}
+		if a > b {
+			k = [2]int{b, a}
+		}
+		if v, ok := mid[k]; ok {
+			return v
+		}
+		p := out.Verts[a].Add(out.Verts[b]).Scale(0.5).Normalized()
+		out.Verts = append(out.Verts, p)
+		mid[k] = len(out.Verts) - 1
+		return mid[k]
+	}
+	for _, t := range m.Tris {
+		ab := midpoint(t[0], t[1])
+		bc := midpoint(t[1], t[2])
+		ca := midpoint(t[2], t[0])
+		out.Tris = append(out.Tris,
+			[3]int{t[0], ab, ca},
+			[3]int{t[1], bc, ab},
+			[3]int{t[2], ca, bc},
+			[3]int{ab, bc, ca},
+		)
+	}
+	return out
+}
+
+// Edges returns the unique edges of the mesh.
+func (m *TriMesh) Edges() [][2]int {
+	seen := map[[2]int]bool{}
+	var out [][2]int
+	for _, t := range m.Tris {
+		for _, e := range [][2]int{{t[0], t[1]}, {t[1], t[2]}, {t[2], t[0]}} {
+			if e[0] > e[1] {
+				e[0], e[1] = e[1], e[0]
+			}
+			if !seen[e] {
+				seen[e] = true
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// EdgeTrianglePairs returns, for every interior edge, the two triangle
+// indices sharing it (bending pairs).
+func (m *TriMesh) EdgeTrianglePairs() map[[2]int][2]int {
+	adj := map[[2]int][]int{}
+	for ti, t := range m.Tris {
+		for _, e := range [][2]int{{t[0], t[1]}, {t[1], t[2]}, {t[2], t[0]}} {
+			if e[0] > e[1] {
+				e[0], e[1] = e[1], e[0]
+			}
+			adj[e] = append(adj[e], ti)
+		}
+	}
+	out := map[[2]int][2]int{}
+	for e, ts := range adj {
+		if len(ts) == 2 {
+			out[e] = [2]int{ts[0], ts[1]}
+		}
+	}
+	return out
+}
+
+// Area returns the total surface area for the given vertex positions.
+func (m *TriMesh) Area(verts []geometry.Vec3) float64 {
+	var a float64
+	for _, t := range m.Tris {
+		a += geometry.Triangle{A: verts[t[0]], B: verts[t[1]], C: verts[t[2]]}.Area()
+	}
+	return a
+}
+
+// Volume returns the enclosed (signed) volume for the given vertex positions.
+func (m *TriMesh) Volume(verts []geometry.Vec3) float64 {
+	var v float64
+	for _, t := range m.Tris {
+		v += verts[t[0]].Dot(verts[t[1]].Cross(verts[t[2]])) / 6
+	}
+	return v
+}

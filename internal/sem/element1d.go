@@ -1,0 +1,165 @@
+package sem
+
+import (
+	"fmt"
+	"math"
+
+	"nektarg/internal/linalg"
+)
+
+// Basis1D bundles the per-order data every spectral element of order P
+// shares: GLL nodes, quadrature weights and the differentiation matrix.
+type Basis1D struct {
+	P       int // polynomial order; P+1 nodes
+	Nodes   []float64
+	Weights []float64
+	D       [][]float64
+}
+
+// NewBasis1D builds the order-P GLL basis.
+func NewBasis1D(p int) *Basis1D {
+	if p < 1 {
+		panic(fmt.Sprintf("sem: order must be >= 1, got %d", p))
+	}
+	nodes, weights := GLL(p + 1)
+	return &Basis1D{P: p, Nodes: nodes, Weights: weights, D: DiffMatrix(nodes)}
+}
+
+// Mesh1D is a conforming mesh of 1D spectral elements on [x0, x1] with a
+// shared basis, assembled with continuous (C0) connectivity.
+type Mesh1D struct {
+	Basis    *Basis1D
+	Elements int
+	X0, X1   float64
+}
+
+// NewMesh1D builds a uniform 1D spectral-element mesh.
+func NewMesh1D(basis *Basis1D, elements int, x0, x1 float64) *Mesh1D {
+	if elements < 1 || !(x1 > x0) {
+		panic(fmt.Sprintf("sem: bad mesh (%d elements on [%v,%v])", elements, x0, x1))
+	}
+	return &Mesh1D{Basis: basis, Elements: elements, X0: x0, X1: x1}
+}
+
+// NumNodes returns the global C0 node count: Elements*P + 1.
+func (m *Mesh1D) NumNodes() int { return m.Elements*m.Basis.P + 1 }
+
+// NodeCoords returns the physical coordinates of the global nodes.
+func (m *Mesh1D) NodeCoords() []float64 {
+	h := (m.X1 - m.X0) / float64(m.Elements)
+	out := make([]float64, m.NumNodes())
+	for e := 0; e < m.Elements; e++ {
+		for i, xi := range m.Basis.Nodes {
+			out[e*m.Basis.P+i] = m.X0 + h*(float64(e)+(xi+1)/2)
+		}
+	}
+	return out
+}
+
+// jac returns the element Jacobian dx/dxi = h/2.
+func (m *Mesh1D) jac() float64 {
+	return (m.X1 - m.X0) / float64(m.Elements) / 2
+}
+
+// AssembleHelmholtz assembles the C0 Galerkin matrix of the operator
+// -u” + lambda*u on the mesh (natural/Neumann boundaries; callers impose
+// Dirichlet rows afterwards). It also returns the assembled mass matrix used
+// to build right-hand sides.
+func (m *Mesh1D) AssembleHelmholtz(lambda float64) (helm, mass *linalg.CSR) {
+	nq := m.Basis.P + 1
+	j := m.jac()
+	hc := linalg.NewCOO(m.NumNodes(), m.NumNodes())
+	mc := linalg.NewCOO(m.NumNodes(), m.NumNodes())
+	for e := 0; e < m.Elements; e++ {
+		base := e * m.Basis.P
+		for i := 0; i < nq; i++ {
+			gi := base + i
+			// Mass (diagonal under GLL collocation).
+			mc.Add(gi, gi, m.Basis.Weights[i]*j)
+			if lambda != 0 {
+				hc.Add(gi, gi, lambda*m.Basis.Weights[i]*j)
+			}
+			// Stiffness: K_ij = sum_q w_q D_qi D_qj / j.
+			for k := 0; k < nq; k++ {
+				gk := base + k
+				var s float64
+				for q := 0; q < nq; q++ {
+					s += m.Basis.Weights[q] * m.Basis.D[q][i] * m.Basis.D[q][k]
+				}
+				hc.Add(gi, gk, s/j)
+			}
+		}
+	}
+	return hc.ToCSR(), mc.ToCSR()
+}
+
+// SolveHelmholtzDirichlet solves -u” + lambda*u = f on the mesh with
+// Dirichlet values uL, uR at the endpoints, where f is sampled at the global
+// nodes. Returns the nodal solution.
+func (m *Mesh1D) SolveHelmholtzDirichlet(lambda float64, f []float64, uL, uR float64) ([]float64, error) {
+	n := m.NumNodes()
+	if len(f) != n {
+		panic(fmt.Sprintf("sem: f has %d values for %d nodes", len(f), n))
+	}
+	helm, mass := m.AssembleHelmholtz(lambda)
+	// RHS = M f.
+	b := make([]float64, n)
+	mass.MulVec(b, f)
+
+	// Impose Dirichlet by elimination: move known-value columns to RHS,
+	// then solve the interior system.
+	interior := make([]int, 0, n-2)
+	for i := 1; i < n-1; i++ {
+		interior = append(interior, i)
+	}
+	idx := make(map[int]int, len(interior))
+	for k, i := range interior {
+		idx[i] = k
+	}
+	ac := linalg.NewCOO(len(interior), len(interior))
+	bi := make([]float64, len(interior))
+	bc := map[int]float64{0: uL, n - 1: uR}
+	for k, i := range interior {
+		bi[k] = b[i]
+		for p := helm.RowPtr[i]; p < helm.RowPtr[i+1]; p++ {
+			jcol := helm.ColIdx[p]
+			v := helm.Val[p]
+			if g, isBC := bc[jcol]; isBC {
+				bi[k] -= v * g
+			} else {
+				ac.Add(k, idx[jcol], v)
+			}
+		}
+	}
+	a := ac.ToCSR()
+	x := make([]float64, len(interior))
+	res, err := linalg.CG(linalg.CSROperator{M: a}, x, bi, linalg.NewJacobiPrec(a.Diagonal()), 1e-12, 20*n)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Converged {
+		return nil, fmt.Errorf("sem: Helmholtz CG stalled at residual %g", res.Residual)
+	}
+	u := make([]float64, n)
+	u[0], u[n-1] = uL, uR
+	for k, i := range interior {
+		u[i] = x[k]
+	}
+	return u, nil
+}
+
+// L2Error computes the quadrature-weighted L2 distance between a nodal field
+// and a reference function on the mesh.
+func (m *Mesh1D) L2Error(u []float64, exact func(x float64) float64) float64 {
+	coords := m.NodeCoords()
+	j := m.jac()
+	var s float64
+	for e := 0; e < m.Elements; e++ {
+		base := e * m.Basis.P
+		for i, w := range m.Basis.Weights {
+			d := u[base+i] - exact(coords[base+i])
+			s += w * j * d * d
+		}
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,264 @@
+// Package stats provides the statistical tooling used to post-process
+// atomistic data: online moments, histograms/PDFs and a Gaussian reference —
+// everything needed for the fluctuation analysis of Figure 7, where the PDF
+// of streamwise velocity oscillations is compared against a Gaussian with
+// σ ≈ 1.03.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Moments accumulates running mean and variance with Welford's algorithm,
+// which stays accurate over the billions of samples a DPD run produces.
+type Moments struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds a sample into the accumulator.
+func (m *Moments) Add(x float64) {
+	m.n++
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// AddAll folds a batch of samples.
+func (m *Moments) AddAll(xs []float64) {
+	for _, x := range xs {
+		m.Add(x)
+	}
+}
+
+// N returns the sample count.
+func (m *Moments) N() int { return m.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (m *Moments) Mean() float64 { return m.mean }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (m *Moments) Variance() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func (m *Moments) StdDev() float64 { return math.Sqrt(m.Variance()) }
+
+// Merge combines another accumulator into m (parallel reduction of
+// per-replica statistics).
+func (m *Moments) Merge(o *Moments) {
+	if o.n == 0 {
+		return
+	}
+	if m.n == 0 {
+		*m = *o
+		return
+	}
+	n := m.n + o.n
+	d := o.mean - m.mean
+	mean := m.mean + d*float64(o.n)/float64(n)
+	m2 := m.m2 + o.m2 + d*d*float64(m.n)*float64(o.n)/float64(n)
+	m.n, m.mean, m.m2 = n, mean, m2
+}
+
+// Histogram is a uniform-bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	under  int
+	over   int
+	total  int
+}
+
+// NewHistogram creates a histogram with nbins uniform bins over [lo, hi).
+func NewHistogram(lo, hi float64, nbins int) *Histogram {
+	if nbins < 1 || !(hi > lo) {
+		panic(fmt.Sprintf("stats: bad histogram bounds [%v,%v) x %d", lo, hi, nbins))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}
+}
+
+// Add records one sample. Out-of-range samples are tracked separately so the
+// PDF normalization stays correct.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.under++
+	case x >= h.Hi:
+		h.over++
+	default:
+		i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.Counts) { // guard against round-up at the boundary
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// AddAll records a batch of samples.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Total returns the number of samples seen, including out-of-range ones.
+func (h *Histogram) Total() int { return h.total }
+
+// OutOfRange returns the number of samples below Lo and at/above Hi.
+func (h *Histogram) OutOfRange() (under, over int) { return h.under, h.over }
+
+// BinCenters returns the midpoints of the bins.
+func (h *Histogram) BinCenters() []float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	c := make([]float64, len(h.Counts))
+	for i := range c {
+		c[i] = h.Lo + (float64(i)+0.5)*w
+	}
+	return c
+}
+
+// PDF returns the empirical probability density (normalized so the bin-sum
+// times bin-width is the in-range fraction of the mass).
+func (h *Histogram) PDF() []float64 {
+	p := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return p
+	}
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		p[i] = float64(c) / (float64(h.total) * w)
+	}
+	return p
+}
+
+// GaussianPDF evaluates the normal density with the given mean and sigma.
+func GaussianPDF(x, mean, sigma float64) float64 {
+	if sigma <= 0 {
+		panic("stats: GaussianPDF needs sigma > 0")
+	}
+	z := (x - mean) / sigma
+	return math.Exp(-0.5*z*z) / (sigma * math.Sqrt(2*math.Pi))
+}
+
+// L2PDFDistance returns the root-mean-square distance between the empirical
+// PDF of h and the Gaussian(mean, sigma) density sampled at bin centers. It
+// quantifies "the PDF is Gaussian" for Figure 7.
+func (h *Histogram) L2PDFDistance(mean, sigma float64) float64 {
+	pdf := h.PDF()
+	centers := h.BinCenters()
+	var s float64
+	for i, p := range pdf {
+		d := p - GaussianPDF(centers[i], mean, sigma)
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pdf)))
+}
+
+// Quantile returns the q-th quantile (0<=q<=1) of xs using linear
+// interpolation; xs is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: Quantile q=%v out of [0,1]", q))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	pos := q * float64(len(s)-1)
+	i := int(pos)
+	if i >= len(s)-1 {
+		return s[len(s)-1]
+	}
+	frac := pos - float64(i)
+	return s[i]*(1-frac) + s[i+1]*frac
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// RMS returns sqrt(mean(x^2)).
+func RMS(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x * x
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// RMSE returns the root-mean-square error between two equal-length series.
+func RMSE(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: RMSE length mismatch")
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(a)))
+}
+
+// Autocorrelation returns the normalized autocorrelation function of a
+// series up to maxLag: ρ(k) = Cov(x_t, x_{t+k}) / Var(x). Used to find the
+// decorrelation time of DPD samples so the WPOD window length Nts can be
+// chosen to give nearly independent snapshots.
+func Autocorrelation(xs []float64, maxLag int) []float64 {
+	if maxLag < 0 || maxLag >= len(xs) {
+		panic(fmt.Sprintf("stats: Autocorrelation lag %d for %d samples", maxLag, len(xs)))
+	}
+	mean := Mean(xs)
+	var v float64
+	for _, x := range xs {
+		v += (x - mean) * (x - mean)
+	}
+	out := make([]float64, maxLag+1)
+	if v == 0 {
+		out[0] = 1
+		return out
+	}
+	for k := 0; k <= maxLag; k++ {
+		var c float64
+		for t := 0; t+k < len(xs); t++ {
+			c += (xs[t] - mean) * (xs[t+k] - mean)
+		}
+		out[k] = c / v
+	}
+	return out
+}
+
+// DecorrelationTime returns the first lag at which the autocorrelation drops
+// below 1/e, or maxLag when it never does.
+func DecorrelationTime(xs []float64, maxLag int) int {
+	ac := Autocorrelation(xs, maxLag)
+	for k, v := range ac {
+		if v < 1/math.E {
+			return k
+		}
+	}
+	return maxLag
+}

@@ -1,0 +1,240 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMomentsAgainstDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 5
+	}
+	var m Moments
+	m.AddAll(xs)
+	// Direct two-pass computation.
+	mean := Mean(xs)
+	var v float64
+	for _, x := range xs {
+		v += (x - mean) * (x - mean)
+	}
+	v /= float64(len(xs) - 1)
+	if math.Abs(m.Mean()-mean) > 1e-12 {
+		t.Fatalf("mean %v vs %v", m.Mean(), mean)
+	}
+	if math.Abs(m.Variance()-v) > 1e-10 {
+		t.Fatalf("var %v vs %v", m.Variance(), v)
+	}
+}
+
+func TestMomentsMergeEqualsSequential(t *testing.T) {
+	f := func(seed int64, n1, n2 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, int(n1)+2)
+		b := make([]float64, int(n2)+2)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		var ma, mb, mall Moments
+		ma.AddAll(a)
+		mb.AddAll(b)
+		mall.AddAll(a)
+		mall.AddAll(b)
+		ma.Merge(&mb)
+		return math.Abs(ma.Mean()-mall.Mean()) < 1e-10 &&
+			math.Abs(ma.Variance()-mall.Variance()) < 1e-9 &&
+			ma.N() == mall.N()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMomentsMergeEmpty(t *testing.T) {
+	var a, b Moments
+	a.Add(1)
+	a.Add(3)
+	a.Merge(&b) // merging empty is a no-op
+	if a.N() != 2 || a.Mean() != 2 {
+		t.Fatalf("after merge: n=%d mean=%v", a.N(), a.Mean())
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.N() != 2 || b.Mean() != 2 {
+		t.Fatalf("after reverse merge: n=%d mean=%v", b.N(), b.Mean())
+	}
+}
+
+func TestHistogramPDFIntegratesToOne(t *testing.T) {
+	h := NewHistogram(-5, 5, 100)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100000; i++ {
+		h.Add(rng.NormFloat64())
+	}
+	pdf := h.PDF()
+	w := 10.0 / 100
+	var total float64
+	for _, p := range pdf {
+		total += p * w
+	}
+	// Nearly all normal mass lies in [-5,5].
+	if math.Abs(total-1) > 0.001 {
+		t.Fatalf("pdf mass = %v", total)
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 1, 10)
+	h.AddAll([]float64{-1, 0.5, 2, 1.0}) // 1.0 is outside the half-open range
+	under, over := h.OutOfRange()
+	if under != 1 || over != 2 {
+		t.Fatalf("under=%d over=%d", under, over)
+	}
+	if h.Total() != 4 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramBoundaryBin(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(0)        // first bin
+	h.Add(0.999999) // last bin
+	h.Add(0.25)     // second bin exactly on edge
+	if h.Counts[0] != 1 || h.Counts[3] != 1 || h.Counts[1] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+}
+
+func TestGaussianPDFPeak(t *testing.T) {
+	peak := GaussianPDF(0, 0, 1)
+	want := 1 / math.Sqrt(2*math.Pi)
+	if math.Abs(peak-want) > 1e-14 {
+		t.Fatalf("peak = %v want %v", peak, want)
+	}
+	if GaussianPDF(1, 0, 1) >= peak {
+		t.Fatal("density should decrease away from mean")
+	}
+}
+
+func TestGaussianFitDetection(t *testing.T) {
+	// Samples from N(0, 1.03): L2 distance to the matching Gaussian must be
+	// far smaller than to a badly mismatched one. This is the Fig 7 check.
+	rng := rand.New(rand.NewSource(11))
+	h := NewHistogram(-5, 5, 60)
+	for i := 0; i < 200000; i++ {
+		h.Add(rng.NormFloat64() * 1.03)
+	}
+	good := h.L2PDFDistance(0, 1.03)
+	bad := h.L2PDFDistance(0, 2.5)
+	if good >= bad/4 {
+		t.Fatalf("gaussian fit not discriminating: good=%v bad=%v", good, bad)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 5, 4}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := Quantile(xs, 0.5); q != 3 {
+		t.Fatalf("median = %v", q)
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestRMSAndRMSE(t *testing.T) {
+	if got := RMS([]float64{3, 4}); math.Abs(got-math.Sqrt(12.5)) > 1e-14 {
+		t.Fatalf("RMS = %v", got)
+	}
+	if got := RMSE([]float64{1, 2}, []float64{1, 2}); got != 0 {
+		t.Fatalf("RMSE identical = %v", got)
+	}
+	if got := RMSE([]float64{0, 0}, []float64{3, 4}); math.Abs(got-math.Sqrt(12.5)) > 1e-14 {
+		t.Fatalf("RMSE = %v", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("hist bounds", func() { NewHistogram(1, 1, 4) })
+	mustPanic("hist bins", func() { NewHistogram(0, 1, 0) })
+	mustPanic("gauss sigma", func() { GaussianPDF(0, 0, 0) })
+	mustPanic("quantile empty", func() { Quantile(nil, 0.5) })
+	mustPanic("quantile range", func() { Quantile([]float64{1}, 1.5) })
+	mustPanic("rmse len", func() { RMSE([]float64{1}, []float64{1, 2}) })
+}
+
+func TestAutocorrelationWhiteNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	ac := Autocorrelation(xs, 10)
+	if ac[0] != 1 {
+		t.Fatalf("rho(0) = %v", ac[0])
+	}
+	for k := 1; k <= 10; k++ {
+		if math.Abs(ac[k]) > 0.05 {
+			t.Fatalf("white noise rho(%d) = %v", k, ac[k])
+		}
+	}
+	if d := DecorrelationTime(xs, 10); d != 1 {
+		t.Fatalf("white-noise decorrelation time = %d", d)
+	}
+}
+
+func TestAutocorrelationAR1(t *testing.T) {
+	// AR(1) with phi = 0.9: rho(k) = 0.9^k, decorrelation time ~ 10.
+	rng := rand.New(rand.NewSource(6))
+	xs := make([]float64, 40000)
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 0.9*xs[i-1] + rng.NormFloat64()
+	}
+	ac := Autocorrelation(xs, 20)
+	for _, k := range []int{1, 3, 6} {
+		want := math.Pow(0.9, float64(k))
+		if math.Abs(ac[k]-want) > 0.05 {
+			t.Fatalf("rho(%d) = %v want %v", k, ac[k], want)
+		}
+	}
+	d := DecorrelationTime(xs, 40)
+	if d < 7 || d > 14 {
+		t.Fatalf("AR(1) decorrelation time = %d, want ~10", d)
+	}
+}
+
+func TestAutocorrelationConstantSeries(t *testing.T) {
+	xs := []float64{2, 2, 2, 2}
+	ac := Autocorrelation(xs, 2)
+	if ac[0] != 1 || ac[1] != 0 {
+		t.Fatalf("constant series ac = %v", ac)
+	}
+}
+
+func TestAutocorrelationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Autocorrelation([]float64{1, 2}, 5)
+}

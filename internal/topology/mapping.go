@@ -1,0 +1,66 @@
+package topology
+
+// Task-to-node mapping strategies. The paper's L2 splitting groups "the
+// processors from different computers or racks" so each solver's heavy
+// traffic stays inside one torus region; these helpers reproduce the two
+// placements being contrasted — locality-preserving contiguous blocks vs. a
+// round-robin scatter — and let the cost model quantify the difference.
+
+// MapTasksContiguous assigns each of nTasks an equal contiguous block of
+// ranks (the topology-aware placement: ranks are already laid out along the
+// torus in XYZT order, so contiguous rank ranges are compact bricks).
+// Returns task id per rank.
+func MapTasksContiguous(t *Torus, nTasks int) []int {
+	if nTasks < 1 || nTasks > t.Cores() {
+		panic("topology: bad task count")
+	}
+	out := make([]int, t.Cores())
+	per := t.Cores() / nTasks
+	for r := range out {
+		task := r / per
+		if task >= nTasks {
+			task = nTasks - 1
+		}
+		out[r] = task
+	}
+	return out
+}
+
+// MapTasksRoundRobin scatters ranks across tasks cyclically — the
+// locality-destroying baseline.
+func MapTasksRoundRobin(t *Torus, nTasks int) []int {
+	if nTasks < 1 || nTasks > t.Cores() {
+		panic("topology: bad task count")
+	}
+	out := make([]int, t.Cores())
+	for r := range out {
+		out[r] = r % nTasks
+	}
+	return out
+}
+
+// IntraTaskTraffic builds an all-neighbor exchange within each task: every
+// rank sends bytesPer to the next and previous rank of its own task (the
+// halo-exchange skeleton of a domain-decomposed solver).
+func IntraTaskTraffic(mapping []int, nTasks int, bytesPer float64) []Message {
+	byTask := make([][]int, nTasks)
+	for r, task := range mapping {
+		byTask[task] = append(byTask[task], r)
+	}
+	var msgs []Message
+	for _, ranks := range byTask {
+		n := len(ranks)
+		for i, r := range ranks {
+			msgs = append(msgs,
+				Message{Src: r, Dst: ranks[(i+1)%n], Bytes: bytesPer},
+				Message{Src: r, Dst: ranks[(i+n-1)%n], Bytes: bytesPer},
+			)
+		}
+	}
+	return msgs
+}
+
+// MappingCost replays the intra-task exchange of a mapping on the torus.
+func MappingCost(t *Torus, mapping []int, nTasks int, bytesPer float64, routing Routing) ExchangeStats {
+	return t.ExchangeCost(IntraTaskTraffic(mapping, nTasks, bytesPer), routing)
+}

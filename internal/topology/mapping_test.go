@@ -1,0 +1,67 @@
+package topology
+
+import "testing"
+
+func TestMappingsPartitionAllRanks(t *testing.T) {
+	tor := NewBGPTorus(64)
+	for _, mk := range []func(*Torus, int) []int{MapTasksContiguous, MapTasksRoundRobin} {
+		m := mk(tor, 4)
+		counts := map[int]int{}
+		for _, task := range m {
+			counts[task]++
+		}
+		if len(counts) != 4 {
+			t.Fatalf("tasks used = %d", len(counts))
+		}
+		for task, c := range counts {
+			if c != tor.Cores()/4 {
+				t.Fatalf("task %d has %d ranks", task, c)
+			}
+		}
+	}
+}
+
+func TestContiguousMappingBeatsScatter(t *testing.T) {
+	// The locality-preserving placement must produce cheaper intra-task
+	// halo exchange than the round-robin scatter: shorter paths, less
+	// total hop-bytes. This is the quantitative content of the L2
+	// topology-oriented splitting.
+	tor := NewBGPTorus(512)
+	const nTasks = 8
+	const bytes = 64e3
+	cont := MappingCost(tor, MapTasksContiguous(tor, nTasks), nTasks, bytes, Deterministic)
+	scat := MappingCost(tor, MapTasksRoundRobin(tor, nTasks), nTasks, bytes, Deterministic)
+	t.Logf("contiguous: %.3g s, %.3g hop-bytes; scatter: %.3g s, %.3g hop-bytes",
+		cont.Time, cont.TotalHopBytes, scat.Time, scat.TotalHopBytes)
+	if cont.TotalHopBytes >= scat.TotalHopBytes {
+		t.Fatalf("contiguous hop-bytes %v not below scatter %v", cont.TotalHopBytes, scat.TotalHopBytes)
+	}
+	if cont.Time > scat.Time {
+		t.Fatalf("contiguous time %v above scatter %v", cont.Time, scat.Time)
+	}
+}
+
+func TestIntraTaskTrafficShape(t *testing.T) {
+	tor := NewBGPTorus(8)
+	m := MapTasksContiguous(tor, 2)
+	msgs := IntraTaskTraffic(m, 2, 100)
+	// Every rank sends 2 messages.
+	if len(msgs) != 2*tor.Cores() {
+		t.Fatalf("messages = %d", len(msgs))
+	}
+	for _, msg := range msgs {
+		if m[msg.Src] != m[msg.Dst] {
+			t.Fatalf("cross-task message %d -> %d", msg.Src, msg.Dst)
+		}
+	}
+}
+
+func TestMappingPanics(t *testing.T) {
+	tor := NewBGPTorus(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MapTasksContiguous(tor, 0)
+}

@@ -1,0 +1,325 @@
+// Package topology models the interconnects of the machines used in the
+// paper: the Blue Gene/P 3D torus (p2p network with deterministic XYZ or
+// adaptive routing, DMA, 6 simultaneously usable links per node) and, more
+// coarsely, a fat-tree-like Cray XT5. It provides rank↔coordinate mapping,
+// minimal-path routing with per-link traffic accounting, and an exchange-time
+// estimator used by the performance replays of Tables 2-5.
+package topology
+
+import (
+	"fmt"
+	"math"
+)
+
+// Torus is a 3D torus of NX x NY x NZ nodes with CoresPerNode ranks per node
+// (the "T" coordinate of the BG/P personality structure).
+type Torus struct {
+	NX, NY, NZ   int
+	CoresPerNode int
+
+	// LatencyPerHop is the per-hop wire+router latency in seconds.
+	LatencyPerHop float64
+	// LinkBandwidth is the per-link bandwidth in bytes/second.
+	LinkBandwidth float64
+	// InjectionBandwidth caps how fast one node can inject into the
+	// network across all 6 links (DMA engine limit), bytes/second.
+	InjectionBandwidth float64
+}
+
+// NewBGPTorus builds a Blue Gene/P-like torus for the given number of nodes:
+// 425 MB/s per link, 6 links per node, ~0.5 µs per hop, 4 cores per node.
+// Dimensions are chosen as close to a cube as possible.
+func NewBGPTorus(nodes int) *Torus {
+	nx, ny, nz := balancedDims(nodes)
+	return &Torus{
+		NX: nx, NY: ny, NZ: nz,
+		CoresPerNode:       4,
+		LatencyPerHop:      0.5e-6,
+		LinkBandwidth:      425e6,
+		InjectionBandwidth: 6 * 425e6,
+	}
+}
+
+// NewXT5Torus builds a Cray XT5-like (SeaStar2+ 3D torus) machine: 12 cores
+// per node on the system used in Table 5, higher link bandwidth, slightly
+// higher per-hop latency.
+func NewXT5Torus(nodes, coresPerNode int) *Torus {
+	nx, ny, nz := balancedDims(nodes)
+	return &Torus{
+		NX: nx, NY: ny, NZ: nz,
+		CoresPerNode:       coresPerNode,
+		LatencyPerHop:      1.0e-6,
+		LinkBandwidth:      3.2e9,
+		InjectionBandwidth: 2 * 3.2e9,
+	}
+}
+
+// balancedDims factors n into three dimensions as close to cubic as the
+// factorization allows, padding up to the next factorable size if needed.
+func balancedDims(n int) (int, int, int) {
+	if n < 1 {
+		panic(fmt.Sprintf("topology: need >= 1 node, got %d", n))
+	}
+	best := [3]int{1, 1, n}
+	bestScore := math.Inf(1)
+	for x := 1; x*x*x <= n; x++ {
+		if n%x != 0 {
+			continue
+		}
+		rem := n / x
+		for y := x; y*y <= rem; y++ {
+			if rem%y != 0 {
+				continue
+			}
+			z := rem / y
+			// Prefer minimal max/min ratio.
+			score := float64(z) / float64(x)
+			if score < bestScore {
+				bestScore = score
+				best = [3]int{x, y, z}
+			}
+		}
+	}
+	return best[0], best[1], best[2]
+}
+
+// Nodes returns the number of nodes in the torus.
+func (t *Torus) Nodes() int { return t.NX * t.NY * t.NZ }
+
+// Cores returns the total rank count.
+func (t *Torus) Cores() int { return t.Nodes() * t.CoresPerNode }
+
+// Coord is a node location plus the core id within the node.
+type Coord struct {
+	X, Y, Z, T int
+}
+
+// Coords maps a rank to its (X, Y, Z, T) personality coordinates using XYZT
+// order (X varies fastest), matching the BG/P default mapping.
+func (t *Torus) Coords(rank int) Coord {
+	if rank < 0 || rank >= t.Cores() {
+		panic(fmt.Sprintf("topology: rank %d out of %d cores", rank, t.Cores()))
+	}
+	node := rank / t.CoresPerNode
+	return Coord{
+		X: node % t.NX,
+		Y: (node / t.NX) % t.NY,
+		Z: node / (t.NX * t.NY),
+		T: rank % t.CoresPerNode,
+	}
+}
+
+// Rank maps coordinates back to a rank.
+func (t *Torus) Rank(c Coord) int {
+	if c.X < 0 || c.X >= t.NX || c.Y < 0 || c.Y >= t.NY || c.Z < 0 || c.Z >= t.NZ ||
+		c.T < 0 || c.T >= t.CoresPerNode {
+		panic(fmt.Sprintf("topology: coord %+v out of torus %dx%dx%dx%d", c, t.NX, t.NY, t.NZ, t.CoresPerNode))
+	}
+	node := c.X + t.NX*(c.Y+t.NY*c.Z)
+	return node*t.CoresPerNode + c.T
+}
+
+// torusDelta returns the signed minimal displacement from a to b along a
+// dimension of size n (wraparound aware). Ties prefer the positive direction.
+func torusDelta(a, b, n int) int {
+	d := (b - a) % n
+	if d < 0 {
+		d += n
+	}
+	if 2*d > n { // the negative direction is strictly shorter
+		d -= n
+	}
+	return d
+}
+
+// HopDistance returns the minimal hop count between the nodes hosting ranks
+// a and b.
+func (t *Torus) HopDistance(a, b int) int {
+	ca, cb := t.Coords(a), t.Coords(b)
+	dx := abs(torusDelta(ca.X, cb.X, t.NX))
+	dy := abs(torusDelta(ca.Y, cb.Y, t.NY))
+	dz := abs(torusDelta(ca.Z, cb.Z, t.NZ))
+	return dx + dy + dz
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Link identifies one unidirectional torus link: the node it leaves and the
+// dimension/direction it travels.
+type Link struct {
+	X, Y, Z int // source node coordinates
+	Dim     int // 0=X, 1=Y, 2=Z
+	Dir     int // +1 or -1
+}
+
+// Route returns the links of the deterministic XYZ-ordered minimal path
+// between the nodes of ranks a and b ("all packets between a pair of nodes
+// follow the same path along X, Y, Z dimensions in that order").
+func (t *Torus) Route(a, b int) []Link {
+	ca, cb := t.Coords(a), t.Coords(b)
+	var links []Link
+	x, y, z := ca.X, ca.Y, ca.Z
+	walk := func(dim, from, to, n int) {
+		d := torusDelta(from, to, n)
+		step := 1
+		if d < 0 {
+			step = -1
+		}
+		for i := 0; i != d; i += step {
+			links = append(links, Link{X: x, Y: y, Z: z, Dim: dim, Dir: step})
+			switch dim {
+			case 0:
+				x = mod(x+step, t.NX)
+			case 1:
+				y = mod(y+step, t.NY)
+			case 2:
+				z = mod(z+step, t.NZ)
+			}
+		}
+	}
+	walk(0, ca.X, cb.X, t.NX)
+	walk(1, y, cb.Y, t.NY)
+	walk(2, z, cb.Z, t.NZ)
+	return links
+}
+
+func mod(a, n int) int {
+	a %= n
+	if a < 0 {
+		a += n
+	}
+	return a
+}
+
+// Message is one point-to-point transfer to be replayed on the network.
+type Message struct {
+	Src, Dst int // ranks
+	Bytes    float64
+}
+
+// Routing selects how messages map onto links.
+type Routing int
+
+// Routing modes supported by the model.
+const (
+	// Deterministic uses XYZ dimension-ordered paths for every packet.
+	Deterministic Routing = iota
+	// Adaptive splits each message evenly over the (up to) 6 dimension
+	// orders of minimal paths, emulating per-packet adaptive routing that
+	// balances load across router ports.
+	Adaptive
+)
+
+var dimOrders = [][3]int{
+	{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0},
+}
+
+// routeOrdered walks the minimal path visiting dimensions in the given order.
+func (t *Torus) routeOrdered(a, b int, order [3]int) []Link {
+	ca, cb := t.Coords(a), t.Coords(b)
+	pos := [3]int{ca.X, ca.Y, ca.Z}
+	target := [3]int{cb.X, cb.Y, cb.Z}
+	size := [3]int{t.NX, t.NY, t.NZ}
+	var links []Link
+	for _, dim := range order {
+		d := torusDelta(pos[dim], target[dim], size[dim])
+		step := 1
+		if d < 0 {
+			step = -1
+		}
+		for i := 0; i != d; i += step {
+			links = append(links, Link{X: pos[0], Y: pos[1], Z: pos[2], Dim: dim, Dir: step})
+			pos[dim] = mod(pos[dim]+step, size[dim])
+		}
+	}
+	return links
+}
+
+// ExchangeCost estimates the wall-clock time for a bulk message exchange.
+// Per-link traffic is accumulated along each message's route; the phase time
+// is the worst of (a) the most congested link draining at link bandwidth,
+// (b) the busiest node's injection limit, and (c) the longest path's latency.
+// This is the standard LogGP-style bound and captures exactly what
+// topology-aware placement (Table 2) improves: shorter paths and less link
+// sharing.
+func (t *Torus) ExchangeCost(msgs []Message, routing Routing) ExchangeStats {
+	linkTraffic := map[Link]float64{}
+	inject := map[int]float64{} // node -> bytes injected
+	var maxHops int
+	var totalBytes, totalHopBytes float64
+	for _, m := range msgs {
+		if m.Bytes < 0 {
+			panic("topology: negative message size")
+		}
+		totalBytes += m.Bytes
+		srcNode := m.Src / t.CoresPerNode
+		dstNode := m.Dst / t.CoresPerNode
+		if srcNode == dstNode {
+			continue // intra-node: shared memory, no network traffic
+		}
+		inject[srcNode] += m.Bytes
+		switch routing {
+		case Deterministic:
+			path := t.Route(m.Src, m.Dst)
+			if len(path) > maxHops {
+				maxHops = len(path)
+			}
+			for _, l := range path {
+				linkTraffic[l] += m.Bytes
+			}
+			totalHopBytes += m.Bytes * float64(len(path))
+		case Adaptive:
+			share := m.Bytes / float64(len(dimOrders))
+			for _, order := range dimOrders {
+				path := t.routeOrdered(m.Src, m.Dst, order)
+				if len(path) > maxHops {
+					maxHops = len(path)
+				}
+				for _, l := range path {
+					linkTraffic[l] += share
+				}
+				totalHopBytes += share * float64(len(path))
+			}
+		default:
+			panic(fmt.Sprintf("topology: unknown routing %d", routing))
+		}
+	}
+	var maxLink, maxInject float64
+	for _, v := range linkTraffic {
+		if v > maxLink {
+			maxLink = v
+		}
+	}
+	for _, v := range inject {
+		if v > maxInject {
+			maxInject = v
+		}
+	}
+	linkTime := maxLink / t.LinkBandwidth
+	injectTime := maxInject / t.InjectionBandwidth
+	latency := float64(maxHops) * t.LatencyPerHop
+	time := math.Max(linkTime, injectTime) + latency
+	return ExchangeStats{
+		Time:          time,
+		MaxLinkBytes:  maxLink,
+		MaxHops:       maxHops,
+		TotalBytes:    totalBytes,
+		TotalHopBytes: totalHopBytes,
+		LinksUsed:     len(linkTraffic),
+	}
+}
+
+// ExchangeStats reports the outcome of an ExchangeCost replay.
+type ExchangeStats struct {
+	Time          float64 // seconds
+	MaxLinkBytes  float64 // traffic on the most congested link
+	MaxHops       int     // longest routed path
+	TotalBytes    float64 // sum of message sizes
+	TotalHopBytes float64 // sum of bytes*hops (network load)
+	LinksUsed     int
+}

@@ -1,0 +1,276 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBalancedDims(t *testing.T) {
+	cases := []struct {
+		n         int
+		wantNodes int
+	}{
+		{1, 1}, {8, 8}, {64, 64}, {512, 512}, {1024, 1024}, {30, 30},
+	}
+	for _, c := range cases {
+		x, y, z := balancedDims(c.n)
+		if x*y*z != c.wantNodes {
+			t.Fatalf("dims(%d) = %d,%d,%d", c.n, x, y, z)
+		}
+		if x > y || y > z {
+			t.Fatalf("dims(%d) not sorted: %d,%d,%d", c.n, x, y, z)
+		}
+	}
+	// Cubes factor exactly.
+	x, y, z := balancedDims(512)
+	if x != 8 || y != 8 || z != 8 {
+		t.Fatalf("512 should be 8x8x8, got %d,%d,%d", x, y, z)
+	}
+}
+
+func TestCoordRankRoundTrip(t *testing.T) {
+	tor := NewBGPTorus(64)
+	for r := 0; r < tor.Cores(); r++ {
+		if got := tor.Rank(tor.Coords(r)); got != r {
+			t.Fatalf("round trip %d -> %d", r, got)
+		}
+	}
+}
+
+func TestSameNodeRanksShareCoords(t *testing.T) {
+	tor := NewBGPTorus(8)
+	c0 := tor.Coords(0)
+	c3 := tor.Coords(3)
+	if c0.X != c3.X || c0.Y != c3.Y || c0.Z != c3.Z {
+		t.Fatalf("ranks 0 and 3 should share a node: %+v vs %+v", c0, c3)
+	}
+	if c0.T == c3.T {
+		t.Fatal("distinct ranks on a node need distinct T")
+	}
+}
+
+func TestTorusDeltaWraps(t *testing.T) {
+	// On a ring of 8, going from 7 to 0 is one positive hop.
+	if d := torusDelta(7, 0, 8); d != 1 {
+		t.Fatalf("delta(7,0,8) = %d", d)
+	}
+	if d := torusDelta(0, 7, 8); d != -1 {
+		t.Fatalf("delta(0,7,8) = %d", d)
+	}
+	if d := torusDelta(0, 4, 8); d != 4 {
+		t.Fatalf("delta(0,4,8) = %d (tie should stay positive)", d)
+	}
+	if d := torusDelta(2, 2, 8); d != 0 {
+		t.Fatalf("delta(2,2,8) = %d", d)
+	}
+}
+
+func TestHopDistanceSymmetricAndTriangle(t *testing.T) {
+	tor := NewBGPTorus(64)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := rng.Intn(tor.Cores())
+		b := rng.Intn(tor.Cores())
+		c := rng.Intn(tor.Cores())
+		dab := tor.HopDistance(a, b)
+		dba := tor.HopDistance(b, a)
+		if dab != dba {
+			return false
+		}
+		// Triangle inequality.
+		return tor.HopDistance(a, c) <= dab+tor.HopDistance(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteLengthMatchesHopDistance(t *testing.T) {
+	tor := NewBGPTorus(64)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := rng.Intn(tor.Cores())
+		b := rng.Intn(tor.Cores())
+		return len(tor.Route(a, b)) == tor.HopDistance(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteEndsAtDestination(t *testing.T) {
+	tor := NewBGPTorus(27)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		a := rng.Intn(tor.Cores())
+		b := rng.Intn(tor.Cores())
+		path := tor.Route(a, b)
+		ca := tor.Coords(a)
+		x, y, z := ca.X, ca.Y, ca.Z
+		for _, l := range path {
+			if l.X != x || l.Y != y || l.Z != z {
+				t.Fatalf("discontinuous path at %+v, expected (%d,%d,%d)", l, x, y, z)
+			}
+			switch l.Dim {
+			case 0:
+				x = mod(x+l.Dir, tor.NX)
+			case 1:
+				y = mod(y+l.Dir, tor.NY)
+			case 2:
+				z = mod(z+l.Dir, tor.NZ)
+			}
+		}
+		cb := tor.Coords(b)
+		if x != cb.X || y != cb.Y || z != cb.Z {
+			t.Fatalf("path from %d ends at (%d,%d,%d), want %+v", a, x, y, z, cb)
+		}
+	}
+}
+
+func TestAdaptiveRoutingReducesCongestion(t *testing.T) {
+	// Many messages between the same far-apart pair: deterministic routing
+	// piles them all on one path; adaptive spreads over 6 orders.
+	tor := NewBGPTorus(512)
+	a := 0
+	b := tor.Rank(Coord{X: 4, Y: 4, Z: 4, T: 0})
+	var msgs []Message
+	for i := 0; i < 10; i++ {
+		msgs = append(msgs, Message{Src: a, Dst: b, Bytes: 1e6})
+	}
+	det := tor.ExchangeCost(msgs, Deterministic)
+	ada := tor.ExchangeCost(msgs, Adaptive)
+	if ada.MaxLinkBytes >= det.MaxLinkBytes {
+		t.Fatalf("adaptive max-link %v >= deterministic %v", ada.MaxLinkBytes, det.MaxLinkBytes)
+	}
+	if det.TotalBytes != 1e7 || ada.TotalBytes != 1e7 {
+		t.Fatalf("total bytes: det %v ada %v", det.TotalBytes, ada.TotalBytes)
+	}
+}
+
+func TestIntraNodeMessagesAreFree(t *testing.T) {
+	tor := NewBGPTorus(8)
+	msgs := []Message{{Src: 0, Dst: 1, Bytes: 1e9}} // same node, cores 0 and 1
+	st := tor.ExchangeCost(msgs, Deterministic)
+	if st.Time != 0 || st.MaxLinkBytes != 0 {
+		t.Fatalf("intra-node exchange should be free: %+v", st)
+	}
+}
+
+func TestExchangeCostScalesWithBytes(t *testing.T) {
+	tor := NewBGPTorus(64)
+	small := tor.ExchangeCost([]Message{{Src: 0, Dst: tor.Cores() - 1, Bytes: 1e3}}, Deterministic)
+	big := tor.ExchangeCost([]Message{{Src: 0, Dst: tor.Cores() - 1, Bytes: 1e9}}, Deterministic)
+	if big.Time <= small.Time {
+		t.Fatalf("bigger message should cost more: %v vs %v", big.Time, small.Time)
+	}
+}
+
+func TestNearbyCheaperThanFarAway(t *testing.T) {
+	tor := NewBGPTorus(512) // 8x8x8
+	near := tor.Rank(Coord{X: 1, Y: 0, Z: 0, T: 0})
+	far := tor.Rank(Coord{X: 4, Y: 4, Z: 4, T: 0})
+	nearCost := tor.ExchangeCost([]Message{{Src: 0, Dst: near, Bytes: 1e6}}, Deterministic)
+	farCost := tor.ExchangeCost([]Message{{Src: 0, Dst: far, Bytes: 1e6}}, Deterministic)
+	if nearCost.Time >= farCost.Time {
+		t.Fatalf("near %v should be cheaper than far %v", nearCost.Time, farCost.Time)
+	}
+}
+
+func TestScheduleUsesAllSixDirections(t *testing.T) {
+	tor := NewBGPTorus(512)
+	// One message in each of the 6 directions from node (4,4,4).
+	src := tor.Rank(Coord{X: 4, Y: 4, Z: 4, T: 0})
+	dsts := []Coord{
+		{X: 5, Y: 4, Z: 4}, {X: 3, Y: 4, Z: 4},
+		{X: 4, Y: 5, Z: 4}, {X: 4, Y: 3, Z: 4},
+		{X: 4, Y: 4, Z: 5}, {X: 4, Y: 4, Z: 3},
+	}
+	var msgs []Message
+	for _, d := range dsts {
+		msgs = append(msgs, Message{Src: src, Dst: tor.Rank(d), Bytes: 100})
+	}
+	rounds := ScheduleMessages(tor, msgs)
+	if len(rounds) != 1 {
+		t.Fatalf("direction-diverse traffic should fit one round, got %d", len(rounds))
+	}
+	if len(rounds[0]) != 6 {
+		t.Fatalf("round should carry 6 messages, got %d", len(rounds[0]))
+	}
+	// The naive scheduler needs 6 rounds for the same traffic.
+	naive := FirstComeFirstServedRounds(tor, msgs)
+	if len(naive) != 6 {
+		t.Fatalf("naive scheduler should need 6 rounds, got %d", len(naive))
+	}
+}
+
+func TestSchedulePreservesAllMessages(t *testing.T) {
+	tor := NewBGPTorus(64)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		msgs := make([]Message, n)
+		for i := range msgs {
+			msgs[i] = Message{
+				Src:   rng.Intn(tor.Cores()),
+				Dst:   rng.Intn(tor.Cores()),
+				Bytes: float64(rng.Intn(1000)),
+			}
+		}
+		rounds := ScheduleMessages(tor, msgs)
+		var count int
+		for _, r := range rounds {
+			count += len(r)
+		}
+		return count == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduledFasterThanNaiveForDiverseTraffic(t *testing.T) {
+	tor := NewBGPTorus(512)
+	rng := rand.New(rand.NewSource(5))
+	var msgs []Message
+	for i := 0; i < 200; i++ {
+		msgs = append(msgs, Message{
+			Src:   rng.Intn(tor.Cores()),
+			Dst:   rng.Intn(tor.Cores()),
+			Bytes: 64e3,
+		})
+	}
+	sched := RoundCost(tor, ScheduleMessages(tor, msgs), Deterministic)
+	naive := RoundCost(tor, FirstComeFirstServedRounds(tor, msgs), Deterministic)
+	if sched > naive {
+		t.Fatalf("scheduled %v slower than naive %v", sched, naive)
+	}
+}
+
+func TestXT5HasMoreBandwidth(t *testing.T) {
+	bgp := NewBGPTorus(64)
+	xt5 := NewXT5Torus(64, 12)
+	if xt5.LinkBandwidth <= bgp.LinkBandwidth {
+		t.Fatal("XT5 link bandwidth should exceed BG/P")
+	}
+	if xt5.CoresPerNode != 12 {
+		t.Fatalf("cores/node = %d", xt5.CoresPerNode)
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	tor := NewBGPTorus(8)
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("rank range", func() { tor.Coords(tor.Cores()) })
+	mustPanic("coord range", func() { tor.Rank(Coord{X: 99}) })
+	mustPanic("negative bytes", func() {
+		tor.ExchangeCost([]Message{{Src: 0, Dst: 5, Bytes: -1}}, Deterministic)
+	})
+}

@@ -1,0 +1,54 @@
+package wpod
+
+import "fmt"
+
+// PhaseAverage implements the classical alternative §3.4 contrasts WPOD
+// with: "It is possible to perform phase averaging, if the flow exhibits a
+// limit cycle and integrate the solution over a large number of cycles."
+// Snapshots are assigned to phase bins modulo the period (in snapshots) and
+// averaged within each bin. It requires an a-priori known, exact period —
+// WPOD's advantage is that it needs neither.
+func PhaseAverage(snapshots [][]float64, period int) ([][]float64, error) {
+	if period < 1 {
+		return nil, fmt.Errorf("wpod: period %d < 1", period)
+	}
+	if len(snapshots) < period {
+		return nil, fmt.Errorf("wpod: %d snapshots < period %d", len(snapshots), period)
+	}
+	m := len(snapshots[0])
+	for k, s := range snapshots {
+		if len(s) != m {
+			return nil, fmt.Errorf("wpod: snapshot %d has %d values, want %d", k, len(s), m)
+		}
+	}
+	out := make([][]float64, period)
+	counts := make([]int, period)
+	for i := range out {
+		out[i] = make([]float64, m)
+	}
+	for k, s := range snapshots {
+		ph := k % period
+		counts[ph]++
+		for i, v := range s {
+			out[ph][i] += v
+		}
+	}
+	for ph := range out {
+		inv := 1 / float64(counts[ph])
+		for i := range out[ph] {
+			out[ph][i] *= inv
+		}
+	}
+	return out, nil
+}
+
+// PhaseReconstruct expands a phase average back to full snapshot length
+// (snapshot k gets phase k mod period).
+func PhaseReconstruct(phaseAvg [][]float64, total int) [][]float64 {
+	period := len(phaseAvg)
+	out := make([][]float64, total)
+	for k := 0; k < total; k++ {
+		out[k] = phaseAvg[k%period]
+	}
+	return out
+}

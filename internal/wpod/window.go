@@ -1,0 +1,65 @@
+package wpod
+
+import "fmt"
+
+// WindowResult is one analyzed space-time window of a sliding-window sweep.
+type WindowResult struct {
+	// Start is the index of the window's first snapshot in the input
+	// stream.
+	Start int
+	*Result
+}
+
+// Sliding applies the POD "to analyze a certain space-time window
+// adaptively": the snapshot stream is cut into windows of the given length
+// advancing by stride, and each window is analyzed independently. Tracking
+// the per-window cutoff and eigenspectrum across windows exposes regime
+// changes (e.g. laminar-turbulent intermittency, the application of the
+// WPOD paper the method was first built for).
+func Sliding(snapshots [][]float64, window, stride int, opts Options) ([]WindowResult, error) {
+	if window < 2 {
+		return nil, fmt.Errorf("wpod: window length %d < 2", window)
+	}
+	if stride < 1 {
+		return nil, fmt.Errorf("wpod: stride %d < 1", stride)
+	}
+	if len(snapshots) < window {
+		return nil, fmt.Errorf("wpod: %d snapshots < window %d", len(snapshots), window)
+	}
+	var out []WindowResult
+	for start := 0; start+window <= len(snapshots); start += stride {
+		r, err := Analyze(snapshots[start:start+window], opts)
+		if err != nil {
+			return nil, fmt.Errorf("wpod: window at %d: %w", start, err)
+		}
+		out = append(out, WindowResult{Start: start, Result: r})
+	}
+	return out, nil
+}
+
+// ReconstructStream stitches the per-window ensemble averages back into a
+// full-length estimate of ū(t,x): each snapshot takes the reconstruction
+// from the window covering it (later windows win on overlap, keeping the
+// estimate causal-ish and simple).
+func ReconstructStream(windows []WindowResult, total int) ([][]float64, error) {
+	if len(windows) == 0 {
+		return nil, fmt.Errorf("wpod: no windows")
+	}
+	out := make([][]float64, total)
+	for _, w := range windows {
+		rec := w.Reconstruct(0)
+		for k, row := range rec {
+			idx := w.Start + k
+			if idx >= total {
+				return nil, fmt.Errorf("wpod: window at %d overruns stream of %d", w.Start, total)
+			}
+			out[idx] = row
+		}
+	}
+	for i, row := range out {
+		if row == nil {
+			return nil, fmt.Errorf("wpod: snapshot %d not covered by any window", i)
+		}
+	}
+	return out, nil
+}

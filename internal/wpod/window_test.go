@@ -1,0 +1,133 @@
+package wpod
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nektarg/internal/stats"
+)
+
+// regimeChangeSignal builds a snapshot stream whose correlated content
+// switches structure halfway: one spatial mode in the first half, three in
+// the second (an intermittency surrogate).
+func regimeChangeSignal(n, m int, sigma float64) (snaps, clean [][]float64) {
+	rng := rand.New(rand.NewSource(7))
+	snaps = make([][]float64, n)
+	clean = make([][]float64, n)
+	for k := 0; k < n; k++ {
+		t := float64(k) / float64(n)
+		row := make([]float64, m)
+		c := make([]float64, m)
+		for i := 0; i < m; i++ {
+			x := float64(i) / float64(m)
+			c[i] = 3 * math.Sin(2*math.Pi*t*4) * math.Sin(2*math.Pi*x)
+			if k >= n/2 { // extra structure in the second half
+				c[i] += 2*math.Cos(2*math.Pi*t*6)*math.Cos(4*math.Pi*x) +
+					1.5*math.Sin(2*math.Pi*t*8)*math.Sin(6*math.Pi*x)
+			}
+			row[i] = c[i] + sigma*rng.NormFloat64()
+		}
+		snaps[k] = row
+		clean[k] = c
+	}
+	return snaps, clean
+}
+
+func TestSlidingDetectsRegimeChange(t *testing.T) {
+	snaps, _ := regimeChangeSignal(80, 200, 0.3)
+	windows, err := Sliding(snaps, 20, 20, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 4 {
+		t.Fatalf("windows = %d", len(windows))
+	}
+	// First-half windows should find ~1 correlated mode, second-half ~3.
+	if windows[0].Cutoff > 2 {
+		t.Fatalf("early window cutoff = %d, want ~1", windows[0].Cutoff)
+	}
+	if windows[3].Cutoff < 3 {
+		t.Fatalf("late window cutoff = %d, want >= 3", windows[3].Cutoff)
+	}
+	if windows[3].Cutoff <= windows[0].Cutoff {
+		t.Fatalf("cutoff did not adapt: %d -> %d", windows[0].Cutoff, windows[3].Cutoff)
+	}
+}
+
+func TestReconstructStreamCoversAndTracks(t *testing.T) {
+	snaps, clean := regimeChangeSignal(60, 150, 0.4)
+	windows, err := Sliding(snaps, 15, 15, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ReconstructStream(windows, len(snaps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Windowed reconstruction must beat the global time average.
+	m := len(snaps[0])
+	avg := make([]float64, m)
+	for _, s := range snaps {
+		for i, v := range s {
+			avg[i] += v / float64(len(snaps))
+		}
+	}
+	var errW, errA float64
+	for k := range snaps {
+		errW += stats.RMSE(rec[k], clean[k])
+		errA += stats.RMSE(avg, clean[k])
+	}
+	if errW >= errA/2 {
+		t.Fatalf("windowed WPOD err %v not clearly better than global average %v", errW, errA)
+	}
+}
+
+func TestSlidingOverlappingWindows(t *testing.T) {
+	snaps, _ := regimeChangeSignal(50, 80, 0.2)
+	windows, err := Sliding(snaps, 20, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Starts: 0, 10, 20, 30.
+	if len(windows) != 4 {
+		t.Fatalf("windows = %d", len(windows))
+	}
+	for i, w := range windows {
+		if w.Start != 10*i {
+			t.Fatalf("window %d starts at %d", i, w.Start)
+		}
+	}
+	rec, err := ReconstructStream(windows, len(snaps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != 50 {
+		t.Fatalf("stream length = %d", len(rec))
+	}
+}
+
+func TestSlidingErrors(t *testing.T) {
+	snaps, _ := regimeChangeSignal(10, 20, 0.1)
+	if _, err := Sliding(snaps, 1, 1, Options{}); err == nil {
+		t.Fatal("window < 2 accepted")
+	}
+	if _, err := Sliding(snaps, 5, 0, Options{}); err == nil {
+		t.Fatal("stride 0 accepted")
+	}
+	if _, err := Sliding(snaps, 20, 5, Options{}); err == nil {
+		t.Fatal("window longer than stream accepted")
+	}
+	// Uncovered tail: windows [0,8) with stride 8 leave snapshots 8-9
+	// uncovered.
+	windows, err := Sliding(snaps, 8, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReconstructStream(windows, 10); err == nil {
+		t.Fatal("uncovered snapshots not reported")
+	}
+	if _, err := ReconstructStream(nil, 10); err == nil {
+		t.Fatal("empty window list accepted")
+	}
+}

@@ -1,0 +1,217 @@
+package wpod
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nektarg/internal/stats"
+)
+
+// syntheticWindow builds snapshots u_k = a(t_k) φ(x) + b(t_k) ψ(x) + σ noise
+// with orthogonal spatial structures φ, ψ.
+func syntheticWindow(n, m int, sigma float64, seed int64) (snaps, clean [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	phi := make([]float64, m)
+	psi := make([]float64, m)
+	for i := 0; i < m; i++ {
+		x := float64(i) / float64(m)
+		phi[i] = math.Sin(2 * math.Pi * x)
+		psi[i] = math.Cos(4 * math.Pi * x)
+	}
+	snaps = make([][]float64, n)
+	clean = make([][]float64, n)
+	for k := 0; k < n; k++ {
+		t := float64(k) / float64(n)
+		a := 3 * math.Sin(2*math.Pi*t)
+		b := 1.5 * math.Cos(2*math.Pi*t)
+		s := make([]float64, m)
+		c := make([]float64, m)
+		for i := 0; i < m; i++ {
+			c[i] = a*phi[i] + b*psi[i]
+			s[i] = c[i] + sigma*rng.NormFloat64()
+		}
+		snaps[k] = s
+		clean[k] = c
+	}
+	return snaps, clean
+}
+
+func TestEigenvaluesDescendingNonNegative(t *testing.T) {
+	snaps, _ := syntheticWindow(30, 200, 0.5, 1)
+	r, err := Analyze(snaps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < len(r.Eigenvalues); k++ {
+		if r.Eigenvalues[k] > r.Eigenvalues[k-1]+1e-10 {
+			t.Fatalf("eigenvalues not descending at %d", k)
+		}
+		if r.Eigenvalues[k] < 0 {
+			t.Fatalf("negative eigenvalue %v", r.Eigenvalues[k])
+		}
+	}
+}
+
+func TestEnergyIdentity(t *testing.T) {
+	snaps, _ := syntheticWindow(25, 150, 0.3, 2)
+	r, err := Analyze(snaps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	for _, s := range snaps {
+		for _, v := range s {
+			mean += v * v
+		}
+	}
+	mean /= float64(len(snaps))
+	if math.Abs(r.Energy()-mean)/mean > 1e-8 {
+		t.Fatalf("energy %v vs mean snapshot energy %v", r.Energy(), mean)
+	}
+}
+
+func TestAdaptiveCutoffFindsTwoModes(t *testing.T) {
+	snaps, _ := syntheticWindow(40, 400, 0.2, 3)
+	r, err := Analyze(snaps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cutoff != 2 {
+		t.Fatalf("cutoff = %d want 2 (eigs %v)", r.Cutoff, r.Eigenvalues[:5])
+	}
+	// The two signal eigenvalues must tower over the noise floor.
+	if r.Eigenvalues[1] < 10*r.Eigenvalues[2] {
+		t.Fatalf("spectrum not separated: %v", r.Eigenvalues[:4])
+	}
+}
+
+func TestSpatialModesOrthonormal(t *testing.T) {
+	snaps, _ := syntheticWindow(20, 300, 0.4, 4)
+	r, err := Analyze(snaps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check the first few modes (noise-degenerate tail modes may be
+	// numerically imperfect).
+	for a := 0; a < 5; a++ {
+		for b := a; b < 5; b++ {
+			var dot float64
+			for i := 0; i < r.FieldSize(); i++ {
+				dot += r.Spatial.At(i, a) * r.Spatial.At(i, b)
+			}
+			want := 0.0
+			if a == b {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-6 {
+				t.Fatalf("modes %d,%d: dot = %v", a, b, dot)
+			}
+		}
+	}
+}
+
+func TestWPODBeatsStandardAveraging(t *testing.T) {
+	// For a nonstationary signal, the time average is biased while the
+	// 2-mode WPOD reconstruction tracks ū(t, x); WPOD error must be far
+	// below the standard-averaging error (the Fig 7 claim).
+	snaps, clean := syntheticWindow(60, 300, 0.6, 5)
+	r, err := Analyze(snaps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := r.Reconstruct(0)
+
+	m := len(snaps[0])
+	timeAvg := make([]float64, m)
+	for _, s := range snaps {
+		for i, v := range s {
+			timeAvg[i] += v / float64(len(snaps))
+		}
+	}
+	var errW, errA float64
+	for k := range snaps {
+		errW += stats.RMSE(rec[k], clean[k])
+		errA += stats.RMSE(timeAvg, clean[k])
+	}
+	if errW >= errA/3 {
+		t.Fatalf("WPOD err %v not clearly better than averaging err %v", errW, errA)
+	}
+}
+
+func TestFluctuationsAreGaussianNoise(t *testing.T) {
+	sigma := 0.8
+	snaps, _ := syntheticWindow(50, 400, sigma, 6)
+	r, err := Analyze(snaps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flucts := r.Fluctuations()
+	var mom stats.Moments
+	for _, row := range flucts {
+		mom.AddAll(row)
+	}
+	if math.Abs(mom.Mean()) > 0.02 {
+		t.Fatalf("fluctuation mean = %v", mom.Mean())
+	}
+	// The recovered noise std must be close to the injected sigma.
+	if math.Abs(mom.StdDev()-sigma)/sigma > 0.05 {
+		t.Fatalf("fluctuation std = %v want ~%v", mom.StdDev(), sigma)
+	}
+	// And its PDF must fit the matching Gaussian far better than a wrong
+	// one.
+	h := stats.NewHistogram(-4*sigma, 4*sigma, 50)
+	for _, row := range flucts {
+		h.AddAll(row)
+	}
+	good := h.L2PDFDistance(0, mom.StdDev())
+	bad := h.L2PDFDistance(0, 2.5*sigma)
+	if good >= bad/3 {
+		t.Fatalf("fluctuations not Gaussian: good %v bad %v", good, bad)
+	}
+}
+
+func TestForceCutoffOverrides(t *testing.T) {
+	snaps, _ := syntheticWindow(20, 100, 0.3, 7)
+	r, err := Analyze(snaps, Options{ForceCutoff: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cutoff != 7 {
+		t.Fatalf("cutoff = %d", r.Cutoff)
+	}
+	// Oversized forced cutoffs clamp to the window length.
+	r2, err := Analyze(snaps, Options{ForceCutoff: 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Cutoff != 20 {
+		t.Fatalf("clamped cutoff = %d", r2.Cutoff)
+	}
+}
+
+func TestNoiselessDataReconstructsExactly(t *testing.T) {
+	snaps, clean := syntheticWindow(15, 120, 0, 8)
+	r, err := Analyze(snaps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := r.Reconstruct(0)
+	for k := range clean {
+		if e := stats.RMSE(rec[k], clean[k]); e > 1e-8 {
+			t.Fatalf("snapshot %d: error %v", k, e)
+		}
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(nil, Options{}); err == nil {
+		t.Fatal("expected error for no snapshots")
+	}
+	if _, err := Analyze([][]float64{{1}, {1, 2}}, Options{}); err == nil {
+		t.Fatal("expected error for ragged snapshots")
+	}
+	if _, err := Analyze([][]float64{{}, {}}, Options{}); err == nil {
+		t.Fatal("expected error for empty snapshots")
+	}
+}
