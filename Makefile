@@ -1,0 +1,13 @@
+# Tier-1 gate: everything a PR must keep green. See scripts/verify.sh.
+verify:
+	sh scripts/verify.sh
+
+# Communication-layer latency benchmarks (collectives + MCI exchange).
+bench-comm:
+	go test -run '^$$' -bench 'BenchmarkBcast|BenchmarkAllreduce|BenchmarkAllgather|BenchmarkBarrier|BenchmarkMCIExchange' -benchtime=30x .
+
+# Full paper-evaluation benchmark suite.
+bench:
+	go test -bench=. -benchmem
+
+.PHONY: verify bench bench-comm

@@ -561,7 +561,7 @@ func BenchmarkMCIThreeStepExchange(b *testing.B) {
 			peer := map[int]int{0: 4, 1: 0}[h.Task]
 			counts := []int{1024, 1024, 1024, 1024}
 			for round := 0; round < 10; round++ {
-				g.Exchange(h.World, peer, round, payload, counts)
+				g.Exchange(h.World, peer, g.Salt(), payload, counts)
 			}
 		})
 		if err != nil {

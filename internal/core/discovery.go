@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"nektarg/internal/geometry"
+	"nektarg/internal/mci"
 	"nektarg/internal/mpi"
 )
 
@@ -20,10 +21,13 @@ import (
 // DiscoverOwners implements steps 2-3 from the atomistic side and
 // RespondOwnership from each continuum side.
 
-// Tags for the handshake, above the mci exchange tag space.
-const (
-	tagProbe = 1 << 18
-	tagReply = 1<<18 + 1
+// The handshake runs on mpi's reserved tag band — the same band as the mci
+// root exchanges — with salts derived from the handshake identity, so it can
+// never collide with user point-to-point traffic or with interface-exchange
+// tags (which use interface-name-derived salts).
+var (
+	saltProbe = mci.SaltFor("core/discovery/probe")
+	saltReply = mci.SaltFor("core/discovery/reply")
 )
 
 // ownershipReply is a continuum root's answer: the indices of the probed
@@ -39,14 +43,14 @@ type ownershipReply struct {
 // lowest-ranked owner, and the second return lists orphans.
 func DiscoverOwners(world *mpi.Comm, centroids []geometry.Vec3, continuumRoots []int) (map[int][]int, []int) {
 	for _, r := range continuumRoots {
-		world.Send(r, tagProbe, centroids)
+		world.SendReserved(r, saltProbe, centroids)
 	}
 	claimed := make(map[int]int) // centroid -> owning root
 	roots := append([]int(nil), continuumRoots...)
 	sort.Ints(roots)
 	replies := map[int]ownershipReply{}
 	for _, r := range continuumRoots {
-		replies[r] = world.Recv(r, tagReply).(ownershipReply)
+		replies[r] = world.RecvReserved(r, saltReply).(ownershipReply)
 	}
 	for _, r := range roots { // lowest rank wins ties
 		for _, idx := range replies[r].Owned {
@@ -76,12 +80,12 @@ func DiscoverOwners(world *mpi.Comm, centroids []geometry.Vec3, continuumRoots [
 // contains ("the L3 roots of continuum domains not overlapping with ΓI
 // report back ... that coordinates of T are not within the boundaries").
 func RespondOwnership(world *mpi.Comm, atomisticRoot int, contains func(geometry.Vec3) bool) {
-	centroids := world.Recv(atomisticRoot, tagProbe).([]geometry.Vec3)
+	centroids := world.RecvReserved(atomisticRoot, saltProbe).([]geometry.Vec3)
 	var owned []int
 	for i, c := range centroids {
 		if contains(c) {
 			owned = append(owned, i)
 		}
 	}
-	world.Send(atomisticRoot, tagReply, ownershipReply{Owned: owned})
+	world.SendReserved(atomisticRoot, saltReply, ownershipReply{Owned: owned})
 }

@@ -234,7 +234,7 @@ func TestDistributedPatchExchange(t *testing.T) {
 		// Each member contributes a 3-value trace chunk tagged by task.
 		local := []float64{float64(h.Task*100 + h.L3.Rank()), 1, 2}
 		peerRoot := map[int]int{0: 3, 1: 0}[h.Task]
-		got := g.Exchange(h.World, peerRoot, 0, local, []int{3, 3})
+		got := g.Exchange(h.World, peerRoot, g.Salt(), local, []int{3, 3})
 		// L4 rank 0 receives the peer's L3-rank-0 chunk, rank 1 the
 		// L3-rank-2 chunk.
 		peerTask := 1 - h.Task

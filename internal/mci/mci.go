@@ -155,19 +155,21 @@ func NewInterfaceGroup(h *Hierarchy, name string, member bool) (*InterfaceGroup,
 	l4 := h.L3.Split(color, h.L3.Rank(), "L4:"+name)
 
 	// Everyone learns the root's World rank: each rank contributes its own
-	// World rank if it is the L4 root, else -1; Max-reduce over L3.
-	mine := -1.0
+	// World rank if it is the L4 root, else -1; integer Max-reduce over L3.
+	// Ranks are identity data — they stay int end to end rather than taking
+	// the old float64 detour, which would silently round above 2^53.
+	mine := -1
 	if member && l4 != nil && l4.Rank() == 0 {
-		mine = float64(h.World.Rank())
+		mine = h.World.Rank()
 	}
-	root := h.L3.Allreduce([]float64{mine}, mpi.Max)[0]
+	root := h.L3.AllreduceInt([]int{mine}, mpi.MaxInt)[0]
 	if root < 0 {
 		return nil, fmt.Errorf("mci: interface %q has no members on task %q", name, h.Name)
 	}
 	return &InterfaceGroup{
 		Name:      name,
 		L4:        l4,
-		RootWorld: int(root),
+		RootWorld: root,
 		Member:    member,
 	}, nil
 }
@@ -190,20 +192,47 @@ func (g *InterfaceGroup) GatherToRoot(local []float64) []float64 {
 	return out
 }
 
-// exchangeTag is the reserved user tag for root-to-root interface traffic.
-const exchangeTag = 1 << 20
+// SaltFor derives a stable tag salt in [0, mpi.ReservedTagSpan) from an
+// interface identity (e.g. "aorta/x1<->patch2/x0"). Both sides of an
+// exchange must derive the salt from the same identity string; distinct
+// interfaces then land on distinct reserved tags (up to hash collisions in a
+// 2^20 space, which the per-(src, dst, tag) FIFO ordering still tolerates).
+func SaltFor(identity string) int {
+	// FNV-1a, folded into the reserved span.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(identity); i++ {
+		h ^= uint64(identity[i])
+		h *= prime64
+	}
+	return int(h % mpi.ReservedTagSpan)
+}
+
+// Salt is the group's own identity-derived tag salt, suitable for Exchange
+// when both sides construct the interface group under the same name.
+func (g *InterfaceGroup) Salt() int { return SaltFor(g.Name) }
 
 // RootExchange swaps payloads between this group's root and the peer group's
 // root over World (step 2 of Figure 4). It must be called by the L4 root of
 // each side with the peer root's World rank; it returns the peer's payload.
-// tagSalt distinguishes concurrent exchanges over different interfaces.
+// tagSalt distinguishes concurrent exchanges over different interfaces; it
+// must lie in [0, mpi.ReservedTagSpan) — derive it from the interface
+// identity with SaltFor (or Salt) rather than hand-numbering. The traffic
+// runs on mpi's reserved tag band, which user Sends cannot enter, so an
+// exchange can never collide with solver point-to-point traffic.
 func (g *InterfaceGroup) RootExchange(world *mpi.Comm, peerRootWorld, tagSalt int, payload []float64) []float64 {
 	if !g.Member || g.L4.Rank() != 0 {
 		panic(fmt.Sprintf("mci: RootExchange must run on the L4 root of %q", g.Name))
 	}
-	tag := exchangeTag + tagSalt
-	world.Send(peerRootWorld, tag, payload)
-	return world.Recv(peerRootWorld, tag).([]float64)
+	if tagSalt < 0 || tagSalt >= mpi.ReservedTagSpan {
+		panic(fmt.Sprintf("mci: tag salt %d for %q out of range [0, %d); derive it with SaltFor",
+			tagSalt, g.Name, mpi.ReservedTagSpan))
+	}
+	world.SendReserved(peerRootWorld, tagSalt, payload)
+	return world.RecvReserved(peerRootWorld, tagSalt).([]float64)
 }
 
 // ScatterFromRoot distributes a payload from the L4 root to members (step 3
@@ -252,6 +281,9 @@ func (g *InterfaceGroup) BcastFromRoot(data []float64) []float64 {
 // received payload back to members according to recvCounts (indexed by L4
 // rank, significant on the root only). Every member of the group must call
 // it; the function returns each member's slice of the received trace.
+// tagSalt must be in [0, mpi.ReservedTagSpan); derive it from the interface
+// identity with SaltFor (or g.Salt()) so concurrent exchanges over different
+// interface pairs never share a tag.
 func (g *InterfaceGroup) Exchange(world *mpi.Comm, peerRootWorld, tagSalt int, local []float64, recvCounts []int) []float64 {
 	gathered := g.GatherToRoot(local)
 	var received []float64

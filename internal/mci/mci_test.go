@@ -164,7 +164,7 @@ func TestThreeStepExchangeDeliversInterfacePayloads(t *testing.T) {
 		base := float64(100*(h.Task+1) + 10*local)
 		mine := []float64{base, base + 1}
 		peerRoot := map[int]int{0: 5, 1: 1}[h.Task] // world ranks of peer L4 roots
-		got := g.Exchange(h.World, peerRoot, 0, mine, []int{2, 2})
+		got := g.Exchange(h.World, peerRoot, g.Salt(), mine, []int{2, 2})
 
 		peerTask := 1 - h.Task
 		// Peer trace order: L4 rank 0 (local rank 1) then L4 rank 1
@@ -306,6 +306,116 @@ func TestMasterBcastReachesSlaves(t *testing.T) {
 		want := float64(100 + rs.Replica.Rank())
 		if len(got) != 1 || got[0] != want {
 			t.Errorf("rank %d got %v want %v", w.Rank(), got, want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaltForStableAndInRange(t *testing.T) {
+	names := []string{"", "inlet", "aorta/x1<->patch2/x0", "core/discovery/probe"}
+	seen := map[int]string{}
+	for _, n := range names {
+		s := SaltFor(n)
+		if s < 0 || s >= mpi.ReservedTagSpan {
+			t.Errorf("SaltFor(%q) = %d out of range", n, s)
+		}
+		if s != SaltFor(n) {
+			t.Errorf("SaltFor(%q) not deterministic", n)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("salt collision between %q and %q", prev, n)
+		}
+		seen[s] = n
+	}
+}
+
+func TestRootExchangeRejectsBadSalt(t *testing.T) {
+	cfg := Config{Tasks: []TaskSpec{{"a", 1}, {"b", 1}}}
+	for _, salt := range []int{-1, mpi.ReservedTagSpan} {
+		salt := salt
+		err := mpi.Run(2, func(w *mpi.Comm) {
+			h, _ := Build(w, cfg)
+			g, err := NewInterfaceGroup(h, "iface", true)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer func() {
+				if recover() == nil {
+					t.Errorf("salt %d did not panic", salt)
+				}
+			}()
+			g.RootExchange(h.World, 1-w.Rank(), salt, []float64{1})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestExchangePayloadsAreIndependent mutates every member's slice of the
+// exchanged trace. The scatter step used to hand out sub-slices of the
+// root's concatenated receive buffer, so peer members raced on one backing
+// array; each member must own its slice. Run with -race.
+func TestExchangePayloadsAreIndependent(t *testing.T) {
+	cfg := Config{Tasks: []TaskSpec{{"left", 3}, {"right", 3}}}
+	err := mpi.Run(6, func(w *mpi.Comm) {
+		h, err := Build(w, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		g, err := NewInterfaceGroup(h, "iface", true)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		peerRoot := map[int]int{0: 3, 1: 0}[h.Task]
+		counts := []int{2, 2, 2}
+		for round := 0; round < 3; round++ {
+			mine := []float64{float64(10*h.Task + g.L4.Rank()), 7}
+			got := g.Exchange(h.World, peerRoot, g.Salt(), mine, counts)
+			want := float64(10*(1-h.Task) + g.L4.Rank())
+			if len(got) != 2 || got[0] != want || got[1] != 7 {
+				t.Errorf("round %d task %d L4 %d: got %v want lead %v", round, h.Task, g.L4.Rank(), got, want)
+				return
+			}
+			// Scribble over the received slice; must not disturb peers or
+			// later rounds.
+			got[0], got[1] = -1, -1
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBcastFromRootBuffersIndependent mutates every member's copy of the
+// broadcast trace; the root's original must survive.
+func TestBcastFromRootBuffersIndependent(t *testing.T) {
+	cfg := Config{Tasks: []TaskSpec{{"solo", 5}}}
+	err := mpi.Run(5, func(w *mpi.Comm) {
+		h, _ := Build(w, cfg)
+		g, err := NewInterfaceGroup(h, "io", true)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		var data []float64
+		if g.L4.Rank() == 0 {
+			data = []float64{1, 2, 3}
+		}
+		got := g.BcastFromRoot(data)
+		if g.L4.Rank() != 0 {
+			for i := range got {
+				got[i] = float64(-w.Rank())
+			}
+		}
+		h.L3.Barrier()
+		if g.L4.Rank() == 0 && (data[0] != 1 || data[1] != 2 || data[2] != 3) {
+			t.Errorf("root trace corrupted: %v", data)
 		}
 	})
 	if err != nil {

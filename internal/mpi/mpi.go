@@ -10,23 +10,72 @@
 // (source, destination, tag), and blocking collectives — so the coupling
 // algorithms run verbatim, just inside one process.
 //
+// # Collective algorithms
+//
+// Collectives use the scalable topologies the paper's hierarchy presumes
+// rather than rank-0 funnels (see collectives.go):
+//
+//   - Bcast, Reduce, Gather, Scatter: binomial trees rooted (virtually) at
+//     the root rank — O(log P) latency depth.
+//   - Allreduce, AllreduceInt: recursive doubling over the largest power of
+//     two P' ≤ P, with the P−P' remainder ranks folded in before and fanned
+//     out after the doubling rounds.
+//   - Barrier: dissemination barrier — ceil(log2 P) rounds at distances
+//     1, 2, 4, ..., correct for any P.
+//   - Allgather, Alltoall: ring schedules — P−1 steps, each a perfect
+//     permutation, no serialization point at any rank.
+//   - Split: tree Gather of (color, key) requests to rank 0, which computes
+//     the partition, then tree Scatter of the assignments.
+//
+// # Payload ownership
+//
 // Sends are eager (buffered): a Send never blocks, mirroring MPI's eager
 // protocol for the small interface payloads the coupled solvers exchange.
 // Message payloads transfer ownership: the sender must not mutate a sent
 // slice afterwards.
+//
+// Collectives that hand one logical payload to several ranks (Bcast,
+// Allreduce, Allgather, Scatter) give every rank an independent buffer:
+// slice payloads are copied (fresh backing array, shallow element copy) on
+// every tree/ring hop, so a rank may freely mutate what a collective
+// returned without racing its peers. Non-slice payloads (scalars, strings,
+// structs) are passed through by value; pointer-bearing payloads remain the
+// caller's responsibility.
+//
+// # Tag spaces
+//
+// User tags live in [0, ReservedTagBase). The band
+// [ReservedTagBase, ReservedTagBase+ReservedTagSpan) is reserved for
+// library-internal traffic (the mci root-to-root interface exchanges) and is
+// addressed through SendReserved/RecvReserved with a validated salt; plain
+// Send/Recv reject tags in the reserved band so user traffic can never
+// collide with coupling traffic. Negative tags are internal to the
+// collectives and rejected everywhere else.
+//
+// # Hop clock
+//
+// Every rank carries a Lamport-style hop clock (see Hops) advanced by each
+// send and receive. Its maximum over ranks measures a communication phase's
+// critical-path depth in point-to-point operations — the latency a machine
+// with one processor per rank would see — which is how the collectives'
+// O(log P) scaling is benchmarked and regression-tested on hosts with fewer
+// cores than ranks.
 package mpi
 
 import (
+	"errors"
 	"fmt"
-	"sort"
 	"sync"
 )
 
-// message is one in-flight point-to-point payload.
+// message is one in-flight point-to-point payload. clock carries the
+// sender's hop clock so the receiver can extend the critical path (see
+// Comm.Hops).
 type message struct {
-	src  int
-	tag  int
-	data any
+	src   int
+	tag   int
+	clock int
+	data  any
 }
 
 // mailbox buffers messages destined for one rank of one communicator.
@@ -68,6 +117,16 @@ func (mb *mailbox) take(src, tag int) message {
 // AnySource matches messages from any sender in Recv.
 const AnySource = -1
 
+// Reserved tag band for library-internal traffic (the mci root-to-root
+// interface exchanges). Plain Send/Recv reject tags in this band; use
+// SendReserved/RecvReserved with a salt in [0, ReservedTagSpan).
+const (
+	// ReservedTagBase is the first reserved tag; user tags must be below it.
+	ReservedTagBase = 1 << 20
+	// ReservedTagSpan is the number of distinct reserved tags (salts).
+	ReservedTagSpan = 1 << 20
+)
+
 // commState is the shared part of a communicator: one mailbox per rank.
 type commState struct {
 	size  int
@@ -90,10 +149,41 @@ type Comm struct {
 	state   *commState
 	rank    int
 	collSeq int // per-rank collective sequence number; all ranks advance in lockstep
+	clock   int // Lamport-style hop clock; see Hops
 }
 
 // Rank returns this process's rank within the communicator.
 func (c *Comm) Rank() int { return c.rank }
+
+// Hops returns this rank's hop clock: a Lamport-style event counter that
+// increments on every send and every receive, and on a receive first catches
+// up to the sender's clock. After a communication phase, the maximum of Hops
+// over all ranks is the length of the phase's critical path measured in
+// point-to-point operations — the latency the phase would exhibit with one
+// processor per rank (a LogP-style round count), independent of how the host
+// machine actually schedules the goroutines. A rank-0 funnel broadcast has
+// hop depth O(P) (the root's P−1 sequential sends are all on the critical
+// path); the binomial tree has depth O(log P). The comm benchmarks report
+// this as "hops/op". Each communicator handle carries its own clock,
+// starting at zero.
+func (c *Comm) Hops() int { return c.clock }
+
+// observe advances the hop clock past an incoming message's clock: one
+// receive event that cannot precede the matching send.
+func (c *Comm) observe(clk int) {
+	if clk > c.clock {
+		c.clock = clk
+	}
+	c.clock++
+}
+
+// recvMsg is the internal blocking receive used by Recv and the collectives:
+// it takes the matching message and charges the receive to the hop clock.
+func (c *Comm) recvMsg(src, tag int) message {
+	m := c.state.boxes[c.rank].take(src, tag)
+	c.observe(m.clock)
+	return m
+}
 
 // Size returns the number of ranks in the communicator.
 func (c *Comm) Size() int { return c.state.size }
@@ -101,320 +191,83 @@ func (c *Comm) Size() int { return c.state.size }
 // Name returns the communicator's diagnostic name (e.g. "world", "L3.2").
 func (c *Comm) Name() string { return c.state.name }
 
-// Send delivers data to rank dst with the given tag. Tags must be
-// non-negative; negative tags are reserved for collectives. Send is eager and
-// never blocks.
-func (c *Comm) Send(dst, tag int, data any) {
+// checkUserTag panics unless tag is in the user band [0, ReservedTagBase).
+func checkUserTag(tag int) {
 	if tag < 0 {
 		panic(fmt.Sprintf("mpi: user tags must be >= 0, got %d", tag))
 	}
+	if tag >= ReservedTagBase {
+		panic(fmt.Sprintf("mpi: tag %d is in the reserved band [%d, %d); use SendReserved/RecvReserved",
+			tag, ReservedTagBase, ReservedTagBase+ReservedTagSpan))
+	}
+}
+
+// checkSalt panics unless salt addresses a valid reserved tag.
+func checkSalt(salt int) {
+	if salt < 0 || salt >= ReservedTagSpan {
+		panic(fmt.Sprintf("mpi: reserved tag salt %d out of range [0, %d)", salt, ReservedTagSpan))
+	}
+}
+
+// Send delivers data to rank dst with the given tag. Tags must be in the
+// user band [0, ReservedTagBase); the reserved band belongs to the coupling
+// layer (SendReserved) and negative tags to the collectives. Send is eager
+// and never blocks.
+func (c *Comm) Send(dst, tag int, data any) {
+	checkUserTag(tag)
 	c.send(dst, tag, data)
+}
+
+// SendReserved delivers data on the reserved tag band used for
+// library-internal coupling traffic. salt must be in [0, ReservedTagSpan);
+// mci derives it from the interface identity so concurrent exchanges over
+// different interfaces never collide with each other or with user tags.
+func (c *Comm) SendReserved(dst, salt int, data any) {
+	checkSalt(salt)
+	c.send(dst, ReservedTagBase+salt, data)
 }
 
 func (c *Comm) send(dst, tag int, data any) {
 	if dst < 0 || dst >= c.state.size {
 		panic(fmt.Sprintf("mpi: Send to rank %d of communicator %q (size %d)", dst, c.state.name, c.state.size))
 	}
-	c.state.boxes[dst].put(message{src: c.rank, tag: tag, data: data})
+	c.clock++
+	c.state.boxes[dst].put(message{src: c.rank, tag: tag, clock: c.clock, data: data})
 }
 
 // Recv blocks until a message with the given source and tag arrives and
 // returns its payload. Pass AnySource to match any sender.
 func (c *Comm) Recv(src, tag int) any {
-	if tag < 0 {
-		panic(fmt.Sprintf("mpi: user tags must be >= 0, got %d", tag))
-	}
-	m := c.state.boxes[c.rank].take(src, tag)
-	return m.data
+	checkUserTag(tag)
+	return c.recvMsg(src, tag).data
+}
+
+// RecvReserved is Recv on the reserved tag band; it pairs with SendReserved.
+func (c *Comm) RecvReserved(src, salt int) any {
+	checkSalt(salt)
+	return c.recvMsg(src, ReservedTagBase+salt).data
 }
 
 // RecvFrom is Recv that also reports the actual sender (useful with
 // AnySource).
 func (c *Comm) RecvFrom(src, tag int) (any, int) {
-	if tag < 0 {
-		panic(fmt.Sprintf("mpi: user tags must be >= 0, got %d", tag))
-	}
-	m := c.state.boxes[c.rank].take(src, tag)
+	checkUserTag(tag)
+	m := c.recvMsg(src, tag)
 	return m.data, m.src
 }
 
-// Collective op codes folded into reserved (negative) tags.
-const (
-	opBarrier = iota + 1
-	opBcast
-	opGather
-	opScatter
-	opAllreduce
-	opAllgather
-	opSplit
-	opReduce
-	opAlltoall
-)
-
-// collTag reserves a distinct negative tag for the seq-th collective of a
-// given kind. Every rank of a communicator must invoke collectives in the
-// same order, which keeps the per-rank sequence numbers in lockstep. The
-// multiplier must exceed the largest op code so (seq, op) pairs never
-// collide.
-func (c *Comm) collTag(op int) int {
-	c.collSeq++
-	return -(c.collSeq*16 + op)
-}
-
-// Barrier blocks until every rank of the communicator has entered it.
-func (c *Comm) Barrier() {
-	tag := c.collTag(opBarrier)
-	// Gather-to-0 then broadcast, both over reserved tags.
-	if c.rank == 0 {
-		for src := 1; src < c.state.size; src++ {
-			c.state.boxes[0].take(src, tag)
-		}
-		for dst := 1; dst < c.state.size; dst++ {
-			c.send(dst, tag, nil)
-		}
-	} else {
-		c.send(0, tag, nil)
-		c.state.boxes[c.rank].take(0, tag)
-	}
-}
-
-// Bcast distributes root's data to every rank and returns it. Non-root
-// callers pass nil (their argument is ignored).
-func (c *Comm) Bcast(root int, data any) any {
-	tag := c.collTag(opBcast)
-	if c.rank == root {
-		for dst := 0; dst < c.state.size; dst++ {
-			if dst != root {
-				c.send(dst, tag, data)
-			}
-		}
-		return data
-	}
-	return c.state.boxes[c.rank].take(root, tag).data
-}
-
-// Gather collects one payload from every rank at root, ordered by rank.
-// Non-root callers receive nil.
-func (c *Comm) Gather(root int, data any) []any {
-	tag := c.collTag(opGather)
-	if c.rank == root {
-		out := make([]any, c.state.size)
-		out[root] = data
-		for src := 0; src < c.state.size; src++ {
-			if src != root {
-				out[src] = c.state.boxes[root].take(src, tag).data
-			}
-		}
-		return out
-	}
-	c.send(root, tag, data)
-	return nil
-}
-
-// Scatter distributes parts[i] from root to rank i and returns this rank's
-// part. Non-root callers pass nil.
-func (c *Comm) Scatter(root int, parts []any) any {
-	tag := c.collTag(opScatter)
-	if c.rank == root {
-		if len(parts) != c.state.size {
-			panic(fmt.Sprintf("mpi: Scatter needs %d parts, got %d", c.state.size, len(parts)))
-		}
-		for dst := 0; dst < c.state.size; dst++ {
-			if dst != root {
-				c.send(dst, tag, parts[dst])
-			}
-		}
-		return parts[root]
-	}
-	return c.state.boxes[c.rank].take(root, tag).data
-}
-
-// ReduceOp combines two float64 values; it must be associative and
-// commutative.
-type ReduceOp func(a, b float64) float64
-
-// Standard reduction operators.
-var (
-	Sum ReduceOp = func(a, b float64) float64 { return a + b }
-	Max ReduceOp = func(a, b float64) float64 {
-		if a > b {
-			return a
-		}
-		return b
-	}
-	Min ReduceOp = func(a, b float64) float64 {
-		if a < b {
-			return a
-		}
-		return b
-	}
-)
-
-// Allreduce element-wise combines equal-length vectors from all ranks and
-// returns the reduced vector on every rank.
-func (c *Comm) Allreduce(local []float64, op ReduceOp) []float64 {
-	tag := c.collTag(opAllreduce)
-	if c.rank == 0 {
-		acc := append([]float64(nil), local...)
-		for src := 1; src < c.state.size; src++ {
-			v := c.state.boxes[0].take(src, tag).data.([]float64)
-			if len(v) != len(acc) {
-				panic(fmt.Sprintf("mpi: Allreduce length mismatch: %d vs %d", len(v), len(acc)))
-			}
-			for i := range acc {
-				acc[i] = op(acc[i], v[i])
-			}
-		}
-		for dst := 1; dst < c.state.size; dst++ {
-			c.send(dst, tag, acc)
-		}
-		return acc
-	}
-	c.send(0, tag, local)
-	return c.state.boxes[c.rank].take(0, tag).data.([]float64)
-}
-
-// Reduce element-wise combines equal-length vectors from all ranks onto
-// root; non-root callers receive nil.
-func (c *Comm) Reduce(root int, local []float64, op ReduceOp) []float64 {
-	tag := c.collTag(opReduce)
-	if c.rank == root {
-		acc := append([]float64(nil), local...)
-		for src := 0; src < c.state.size; src++ {
-			if src == root {
-				continue
-			}
-			v := c.state.boxes[root].take(src, tag).data.([]float64)
-			if len(v) != len(acc) {
-				panic(fmt.Sprintf("mpi: Reduce length mismatch: %d vs %d", len(v), len(acc)))
-			}
-			for i := range acc {
-				acc[i] = op(acc[i], v[i])
-			}
-		}
-		return acc
-	}
-	c.send(root, tag, local)
-	return nil
-}
-
-// Alltoall performs a personalized exchange: parts[i] goes to rank i, and
-// the result holds what every rank addressed to this one, ordered by sender.
-func (c *Comm) Alltoall(parts []any) []any {
-	tag := c.collTag(opAlltoall)
-	if len(parts) != c.state.size {
-		panic(fmt.Sprintf("mpi: Alltoall needs %d parts, got %d", c.state.size, len(parts)))
-	}
-	for dst := 0; dst < c.state.size; dst++ {
-		if dst != c.rank {
-			c.send(dst, tag, parts[dst])
-		}
-	}
-	out := make([]any, c.state.size)
-	out[c.rank] = parts[c.rank]
-	for src := 0; src < c.state.size; src++ {
-		if src != c.rank {
-			out[src] = c.state.boxes[c.rank].take(src, tag).data
-		}
-	}
-	return out
-}
-
-// Allgather collects one payload from every rank on every rank, ordered by
-// rank.
-func (c *Comm) Allgather(data any) []any {
-	tag := c.collTag(opAllgather)
-	if c.rank == 0 {
-		out := make([]any, c.state.size)
-		out[0] = data
-		for src := 1; src < c.state.size; src++ {
-			out[src] = c.state.boxes[0].take(src, tag).data
-		}
-		for dst := 1; dst < c.state.size; dst++ {
-			c.send(dst, tag, out)
-		}
-		return out
-	}
-	c.send(0, tag, data)
-	return c.state.boxes[c.rank].take(0, tag).data.([]any)
-}
-
-// splitRequest is the payload ranks send to rank 0 during Split.
-type splitRequest struct {
-	rank, color, key int
-}
-
-// splitReply carries a rank's new communicator assignment.
-type splitReply struct {
-	state *commState
-	rank  int
-}
-
-// Split partitions the communicator by color, ordering ranks within each new
-// communicator by (key, old rank), exactly like MPI_Comm_split. Every rank
-// must call it; a rank passing a negative color receives nil (MPI_UNDEFINED).
-func (c *Comm) Split(color, key int, name string) *Comm {
-	tag := c.collTag(opSplit)
-	if c.rank == 0 {
-		reqs := make([]splitRequest, c.state.size)
-		reqs[0] = splitRequest{rank: 0, color: color, key: key}
-		for src := 1; src < c.state.size; src++ {
-			reqs[src] = c.state.boxes[0].take(src, tag).data.(splitRequest)
-		}
-		// Group by color.
-		groups := map[int][]splitRequest{}
-		for _, r := range reqs {
-			if r.color >= 0 {
-				groups[r.color] = append(groups[r.color], r)
-			}
-		}
-		replies := make([]splitReply, c.state.size)
-		colors := make([]int, 0, len(groups))
-		for col := range groups {
-			colors = append(colors, col)
-		}
-		sort.Ints(colors)
-		for _, col := range colors {
-			g := groups[col]
-			sort.Slice(g, func(a, b int) bool {
-				if g[a].key != g[b].key {
-					return g[a].key < g[b].key
-				}
-				return g[a].rank < g[b].rank
-			})
-			st := newCommState(len(g), fmt.Sprintf("%s/%s.%d", c.state.name, name, col))
-			for newRank, r := range g {
-				replies[r.rank] = splitReply{state: st, rank: newRank}
-			}
-		}
-		for dst := 1; dst < c.state.size; dst++ {
-			c.send(dst, tag, replies[dst])
-		}
-		rep := replies[0]
-		if rep.state == nil {
-			return nil
-		}
-		return &Comm{state: rep.state, rank: rep.rank}
-	}
-	c.send(0, tag, splitRequest{rank: c.rank, color: color, key: key})
-	rep := c.state.boxes[c.rank].take(0, tag).data.(splitReply)
-	if rep.state == nil {
-		return nil
-	}
-	return &Comm{state: rep.state, rank: rep.rank}
-}
-
 // Run launches size ranks, each executing body with its world communicator,
-// and waits for all to finish. A panic in any rank is captured and returned
-// as an error naming the rank. Note that a panicking rank may leave peers
-// blocked; Run is intended for tests and in-process simulations where that
-// aborts the whole program anyway.
+// and waits for all to finish. Panics are captured per rank and aggregated
+// (errors.Join, ordered by rank) so a multi-rank failure reports every
+// failing rank, not just the first drained. Note that a panicking rank may
+// leave peers blocked; Run is intended for tests and in-process simulations
+// where that aborts the whole program anyway.
 func Run(size int, body func(world *Comm)) error {
 	if size < 1 {
 		return fmt.Errorf("mpi: Run needs size >= 1, got %d", size)
 	}
 	state := newCommState(size, "world")
-	errs := make(chan error, size)
+	rankErrs := make([]error, size) // slot per rank: no contention, stable order
 	var wg sync.WaitGroup
 	for r := 0; r < size; r++ {
 		wg.Add(1)
@@ -422,18 +275,12 @@ func Run(size int, body func(world *Comm)) error {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					errs <- fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+					rankErrs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
 				}
 			}()
 			body(&Comm{state: state, rank: rank})
 		}(r)
 	}
 	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return errors.Join(rankErrs...)
 }

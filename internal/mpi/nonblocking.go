@@ -9,7 +9,8 @@ package mpi
 
 // Request tracks one outstanding nonblocking operation.
 type Request struct {
-	done <-chan any
+	done <-chan message
+	c    *Comm // receiving comm for Irecv (charges the hop clock at completion); nil for sends
 	data any
 	rcvd bool
 }
@@ -19,33 +20,30 @@ type Request struct {
 // without blocking.
 func (c *Comm) Isend(dst, tag int, data any) *Request {
 	c.Send(dst, tag, data)
-	ch := make(chan any, 1)
-	ch <- nil
+	ch := make(chan message, 1)
+	ch <- message{}
 	return &Request{done: ch}
 }
 
 // Irecv posts a nonblocking receive for (src, tag). The match proceeds on a
 // background goroutine; Wait blocks until the message arrives and returns
-// its payload.
+// its payload. The hop clock is charged when Wait (or Test) observes the
+// message, on the caller's goroutine.
 func (c *Comm) Irecv(src, tag int) *Request {
-	if tag < 0 {
-		panic("mpi: user tags must be >= 0")
-	}
-	ch := make(chan any, 1)
+	checkUserTag(tag)
+	ch := make(chan message, 1)
 	box := c.state.boxes[c.rank]
 	go func() {
-		m := box.take(src, tag)
-		ch <- m.data
+		ch <- box.take(src, tag)
 	}()
-	return &Request{done: ch}
+	return &Request{done: ch, c: c}
 }
 
 // Wait blocks until the request completes and returns the received payload
 // (nil for sends). Calling Wait twice returns the same payload.
 func (r *Request) Wait() any {
 	if !r.rcvd {
-		r.data = <-r.done
-		r.rcvd = true
+		r.complete(<-r.done)
 	}
 	return r.data
 }
@@ -57,13 +55,20 @@ func (r *Request) Test() bool {
 		return true
 	}
 	select {
-	case d := <-r.done:
-		r.data = d
-		r.rcvd = true
+	case m := <-r.done:
+		r.complete(m)
 		return true
 	default:
 		return false
 	}
+}
+
+func (r *Request) complete(m message) {
+	if r.c != nil {
+		r.c.observe(m.clock)
+	}
+	r.data = m.data
+	r.rcvd = true
 }
 
 // WaitAll drains a set of requests and returns their payloads in order.
