@@ -10,4 +10,9 @@ bench-comm:
 bench:
 	go test -bench=. -benchmem
 
-.PHONY: verify bench bench-comm
+# Telemetry benchmark bundle: comm + instrumentation-overhead benches plus
+# the scaling tables, written to BENCH_telemetry.json (scripts/bench.sh).
+bench-telemetry:
+	sh scripts/bench.sh
+
+.PHONY: verify bench bench-comm bench-telemetry

@@ -20,6 +20,8 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"nektarg/internal/config"
 	"nektarg/internal/core"
@@ -28,8 +30,113 @@ import (
 	"nektarg/internal/nektar1d"
 	"nektarg/internal/nektar3d"
 	"nektarg/internal/platelet"
+	"nektarg/internal/telemetry"
 	"nektarg/internal/viz"
 )
+
+// telemetryOpts bundles the observability flags shared by both run paths.
+type telemetryOpts struct {
+	enabled  bool   // -telemetry: print per-stage/traffic/gauge tables
+	traceOut string // -trace-out: Chrome trace_event JSON path
+	jsonOut  string // -telemetry-out: aggregate summary JSON path
+}
+
+// active reports whether any telemetry output was requested; asking for a
+// trace or summary file implies enabling the recorders.
+func (o telemetryOpts) active() bool {
+	return o.enabled || o.traceOut != "" || o.jsonOut != ""
+}
+
+// setup installs recorders on the metasolver (and the optional 1D tree) when
+// telemetry is requested; returns nil otherwise, which leaves every Rec field
+// nil and instrumentation on its no-op fast path.
+func (o telemetryOpts) setup(meta *core.Metasolver, tree *nektar1d.Network) *telemetry.Registry {
+	if !o.active() {
+		return nil
+	}
+	reg := telemetry.NewRegistry()
+	meta.EnableTelemetry(reg)
+	if tree != nil {
+		tree.Rec = reg.NewRecorder("1d:tree")
+	}
+	return reg
+}
+
+// report prints the aggregate tables and writes the requested trace/summary
+// files.
+func (o telemetryOpts) report(reg *telemetry.Registry, meta *core.Metasolver) {
+	if reg == nil {
+		return
+	}
+	recs := reg.Recorders()
+	if o.enabled {
+		cs := telemetry.AggregateRecorders(recs)
+		fmt.Println("\n--- telemetry: per-stage timings ---")
+		fmt.Print(cs.FormatStageTable())
+		fmt.Println("--- telemetry: gauges ---")
+		fmt.Print(cs.FormatGaugeTable())
+		if t := cs.Traffic.Total(); t.Msgs > 0 {
+			fmt.Println("--- telemetry: traffic ---")
+			fmt.Print(cs.FormatTrafficTable())
+		}
+		fmt.Printf("coupling overhead: %.2f%% of step time\n", 100*meta.CouplingOverhead())
+	}
+	if o.traceOut != "" {
+		writeFileWith(o.traceOut, func(w io.Writer) error {
+			return telemetry.WriteChromeTrace(w, recs)
+		})
+		fmt.Printf("wrote Chrome trace to %s (open in chrome://tracing or https://ui.perfetto.dev)\n", o.traceOut)
+	}
+	if o.jsonOut != "" {
+		writeFileWith(o.jsonOut, func(w io.Writer) error {
+			return telemetry.WriteSummary(w, recs)
+		})
+		fmt.Printf("wrote telemetry summary to %s\n", o.jsonOut)
+	}
+}
+
+// writeFileWith creates path and streams fn into it, fataling on error.
+func writeFileWith(path string, fn func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// startCPUProfile begins CPU profiling into path (empty = off) and returns a
+// stop function.
+func startCPUProfile(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		log.Fatal(err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
+}
+
+// writeMemProfile dumps a heap profile to path (empty = off).
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	runtime.GC()
+	writeFileWith(path, pprof.WriteHeapProfile)
+}
 
 func main() {
 	nPatches := flag.Int("patches", 2, "number of overlapping continuum patches")
@@ -41,9 +148,18 @@ func main() {
 	vtkDir := flag.String("vtk", "", "directory for final-state VTK output (empty = off)")
 	with1D := flag.Bool("with1d", false, "attach a 1D fractal peripheral tree to the last patch outlet")
 	configPath := flag.String("config", "", "JSON simulation config (overrides the built-in scenario flags)")
+	teleFlag := flag.Bool("telemetry", false, "record per-rank stage timers/gauges and print the aggregate tables")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON (implies telemetry recording)")
+	teleOut := flag.String("telemetry-out", "", "write the aggregate telemetry summary JSON (implies telemetry recording)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
+	topts := telemetryOpts{enabled: *teleFlag, traceOut: *traceOut, jsonOut: *teleOut}
+	stopCPU := startCPUProfile(*cpuProfile)
+	defer stopCPU()
+	defer writeMemProfile(*memProfile)
 	if *configPath != "" {
-		runFromConfig(*configPath, *exchanges, *vtkDir)
+		runFromConfig(*configPath, *exchanges, *vtkDir, topts)
 		return
 	}
 	if *nPatches < 1 {
@@ -134,6 +250,8 @@ func main() {
 		}
 	}
 
+	reg := topts.setup(meta, tree)
+
 	dof := 0
 	for _, p := range patches {
 		dof += 4 * p.Solver.G.NumNodes()
@@ -197,10 +315,12 @@ func main() {
 			fmt.Printf("  patches %d-%d: %.3e\n", i, i+1, math.Sqrt(rms/float64(n)))
 		}
 	}
+
+	topts.report(reg, meta)
 }
 
 // runFromConfig builds and drives a simulation from a declarative JSON file.
-func runFromConfig(path string, exchanges int, vtkDir string) {
+func runFromConfig(path string, exchanges int, vtkDir string, topts telemetryOpts) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -216,6 +336,7 @@ func runFromConfig(path string, exchanges int, vtkDir string) {
 	}
 	fmt.Printf("nektarg: config %s -> %d patches, %d couplings, %d regions\n",
 		path, len(b.Meta.Patches), len(b.Meta.Couplings), len(b.Meta.Atomistic))
+	reg := topts.setup(b.Meta, nil)
 	for e := 0; e < exchanges; e++ {
 		if err := b.Meta.Advance(1); err != nil {
 			log.Fatal(err)
@@ -243,6 +364,7 @@ func runFromConfig(path string, exchanges int, vtkDir string) {
 		}
 		fmt.Printf("wrote VTK scene to %s/\n", vtkDir)
 	}
+	topts.report(reg, b.Meta)
 }
 
 // maxDivergence returns the worst incompressibility violation over patches.

@@ -6,41 +6,123 @@
 //
 //	go run ./cmd/scaling            # all tables
 //	go run ./cmd/scaling -table 3   # one table
+//	go run ./cmd/scaling -json      # machine-readable output (scripts/bench.sh)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"nektarg/internal/perfmodel"
+	"nektarg/internal/telemetry"
 )
 
 func main() {
 	table := flag.Int("table", 0, "table to print (2-5), 0 = all plus extended runs")
+	asJSON := flag.Bool("json", false, "emit the tables as JSON instead of text")
+	teleFlag := flag.Bool("telemetry", false, "time each table computation and print the stage table")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace of the table computations")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
 
-	run := func(n int) {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		runtime.GC()
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	var rec *telemetry.Recorder
+	var reg *telemetry.Registry
+	if *teleFlag || *traceOut != "" {
+		reg = telemetry.NewRegistry()
+		rec = reg.NewRecorder("scaling")
+	}
+
+	build := func(n int) *perfmodel.Table {
+		sp := rec.Begin(fmt.Sprintf("scaling.table%d", n))
+		defer sp.End()
 		switch n {
 		case 2:
-			fmt.Println(perfmodel.Table2())
+			return perfmodel.Table2()
 		case 3:
-			fmt.Println(perfmodel.Table3())
+			return perfmodel.Table3()
 		case 4:
-			fmt.Println(perfmodel.Table4())
+			return perfmodel.Table4()
 		case 5:
-			fmt.Println(perfmodel.Table5())
-		default:
-			fmt.Fprintf(os.Stderr, "scaling: unknown table %d (want 2-5)\n", n)
-			os.Exit(2)
+			return perfmodel.Table5()
+		}
+		fmt.Fprintf(os.Stderr, "scaling: unknown table %d (want 2-5)\n", n)
+		os.Exit(2)
+		return nil
+	}
+
+	var tables []*perfmodel.Table
+	if *table != 0 {
+		tables = append(tables, build(*table))
+	} else {
+		for _, n := range []int{2, 3, 4, 5} {
+			tables = append(tables, build(n))
+		}
+		sp := rec.Begin("scaling.extended")
+		tables = append(tables, perfmodel.ExtendedWeakScaling())
+		sp.End()
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		for _, t := range tables {
+			fmt.Println(t)
 		}
 	}
-	if *table != 0 {
-		run(*table)
-		return
+
+	if reg != nil {
+		if *teleFlag {
+			cs := telemetry.AggregateRecorders(reg.Recorders())
+			fmt.Fprintln(os.Stderr, "--- telemetry: table computation timings ---")
+			fmt.Fprint(os.Stderr, cs.FormatStageTable())
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := telemetry.WriteChromeTrace(f, reg.Recorders()); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
-	for _, n := range []int{2, 3, 4, 5} {
-		run(n)
-	}
-	fmt.Println(perfmodel.ExtendedWeakScaling())
 }

@@ -8,6 +8,7 @@ import (
 	"nektarg/internal/dpd"
 	"nektarg/internal/geometry"
 	"nektarg/internal/nektar3d"
+	"nektarg/internal/telemetry"
 )
 
 // ContinuumPatch is one NεκTαr-3D solver instance placed in the global
@@ -129,6 +130,10 @@ type Metasolver struct {
 	DPDStepsPerNS int
 
 	Exchanges int
+
+	// rec is the metasolver's own telemetry recorder (track "metasolver");
+	// nil until EnableTelemetry is called. See telemetry.go in this package.
+	rec *telemetry.Recorder
 }
 
 // NewMetasolver applies the paper's default time-progression ratios.
@@ -141,6 +146,8 @@ func NewMetasolver() *Metasolver {
 // computed by the continuum solver is interpolated onto the predefined
 // coordinates and ... transferred to the atomistic solver").
 func (m *Metasolver) ExchangeInterfaceConditions() error {
+	sp := m.rec.Begin("meta.exchange")
+	defer sp.End()
 	for _, c := range m.Couplings {
 		if err := c.apply(); err != nil {
 			return err
@@ -217,11 +224,14 @@ func (m *Metasolver) Advance(n int) error {
 		return fmt.Errorf("core: bad time progression %d/%d", m.NSStepsPerExchange, m.DPDStepsPerNS)
 	}
 	for e := 0; e < n; e++ {
+		step := m.rec.Begin("meta.step")
 		if err := m.ExchangeInterfaceConditions(); err != nil {
+			step.End()
 			return err
 		}
 		// Continuum patches advance concurrently: "the solution is computed
 		// in parallel in each patch".
+		adv := m.rec.Begin("meta.advance")
 		errs := make([]error, len(m.Patches))
 		var wg sync.WaitGroup
 		for i, p := range m.Patches {
@@ -232,10 +242,16 @@ func (m *Metasolver) Advance(n int) error {
 			}(i, p)
 		}
 		// Atomistic regions advance on the caller goroutine.
+		at := m.rec.Begin("meta.atomistic")
 		for _, a := range m.Atomistic {
 			a.Sys.Run(m.NSStepsPerExchange * m.DPDStepsPerNS)
 		}
+		at.End()
+		wait := m.rec.Begin("meta.wait")
 		wg.Wait()
+		wait.End()
+		adv.End()
+		step.End()
 		for i, err := range errs {
 			if err != nil {
 				return fmt.Errorf("core: patch %q: %w", m.Patches[i].Name, err)

@@ -337,6 +337,7 @@ func (s *System) fluxFace(axis int, atMax bool) *FluxBC {
 
 // removeParticles deletes the given (sorted ascending) indices.
 func (s *System) removeParticles(idx []int) {
+	s.Deleted += int64(len(idx))
 	out := s.Particles[:0]
 	k := 0
 	for i := range s.Particles {
@@ -475,6 +476,7 @@ func (f *FluxBC) apply(s *System) {
 			vel.Z = sign * vn
 		}
 		s.AddParticle(pos, vel, f.Species, false)
+		s.Inserted++
 	}
 }
 

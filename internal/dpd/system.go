@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"nektarg/internal/geometry"
+	"nektarg/internal/telemetry"
 )
 
 // Particle is one DPD particle. Mass is 1 in DPD units.
@@ -57,6 +58,15 @@ type System struct {
 
 	Step int
 	Time float64
+
+	// Inserted and Deleted count cumulative open-boundary particle
+	// insertions and deletions (FluxBC inflow/outflow management). VVStep
+	// reports the per-step deltas as telemetry gauges when Rec is set.
+	Inserted, Deleted int64
+
+	// Rec is the optional per-rank telemetry recorder; nil (the default)
+	// disables instrumentation at nil-receiver no-op cost.
+	Rec *telemetry.Recorder
 
 	nextID int64
 	rng    *rand.Rand
@@ -195,6 +205,8 @@ func (s *System) cellOf(pos geometry.Vec3) int {
 // and counter-based random numbers, so results are deterministic regardless
 // of worker count.
 func (s *System) ComputeForces() {
+	sp := s.Rec.Begin("dpd.forces")
+	defer sp.End()
 	n := len(s.Particles)
 	for i := range s.Particles {
 		s.Particles[i].F = geometry.Vec3{}
@@ -362,6 +374,10 @@ func (s *System) pairForce(i, j int, rc2 float64, buf []geometry.Vec3) {
 // For simplicity and robustness we use the common DPD-VV variant: predict
 // velocities, move, recompute forces, correct velocities.
 func (s *System) VVStep() {
+	sp := s.Rec.Begin("dpd.step")
+	defer sp.End()
+	ins0, del0 := s.Inserted, s.Deleted
+
 	dt := s.Dt
 	if s.Step == 0 {
 		s.ComputeForces()
@@ -396,6 +412,10 @@ func (s *System) VVStep() {
 	for _, f := range s.Inflows {
 		f.apply(s)
 	}
+
+	s.Rec.Gauge("dpd.particles", float64(len(s.Particles)))
+	s.Rec.Gauge("dpd.inserted", float64(s.Inserted-ins0))
+	s.Rec.Gauge("dpd.deleted", float64(s.Deleted-del0))
 }
 
 // Run advances n steps.

@@ -61,12 +61,21 @@ func (p *JacobiPrec) Precondition(z, r []float64) {
 	}
 }
 
-// CGResult reports how a conjugate-gradient solve went.
-type CGResult struct {
+// SolveStats reports how a conjugate-gradient solve went: the per-stage
+// convergence record the telemetry layer turns into gauges and the tests
+// assert on. History holds the relative residual observed at the top of each
+// iteration (History[0] is the initial residual), so convergence curves can
+// be reproduced without re-running the solve.
+type SolveStats struct {
 	Iterations int
 	Residual   float64 // final ||b - A x|| / ||b||
 	Converged  bool
+	History    []float64 // relative residual per iteration, starting at iteration 0
 }
+
+// CGResult is the former name of SolveStats, kept as an alias for callers
+// that predate the telemetry layer.
+type CGResult = SolveStats
 
 // ErrCGBreakdown is returned when the operator is not SPD (p^T A p <= 0).
 var ErrCGBreakdown = errors.New("linalg: CG breakdown: operator not positive definite")
@@ -75,7 +84,7 @@ var ErrCGBreakdown = errors.New("linalg: CG breakdown: operator not positive def
 // (which also provides the initial guess — the paper accelerates convergence
 // by predicting a good initial state from previous time steps). It stops when
 // the relative residual drops below tol or after maxIter iterations.
-func CG(a Operator, x, b []float64, prec Preconditioner, tol float64, maxIter int) (CGResult, error) {
+func CG(a Operator, x, b []float64, prec Preconditioner, tol float64, maxIter int) (SolveStats, error) {
 	n := a.Dim()
 	if len(x) != n || len(b) != n {
 		panic(fmt.Sprintf("linalg: CG dimension mismatch: dim=%d len(x)=%d len(b)=%d", n, len(x), len(b)))
@@ -93,7 +102,7 @@ func CG(a Operator, x, b []float64, prec Preconditioner, tol float64, maxIter in
 		for i := range x {
 			x[i] = 0
 		}
-		return CGResult{Converged: true}, nil
+		return SolveStats{Converged: true}, nil
 	}
 
 	// r = b - A x0
@@ -105,10 +114,11 @@ func CG(a Operator, x, b []float64, prec Preconditioner, tol float64, maxIter in
 	copy(p, z)
 	rz := simd.Dot(r, z)
 
-	res := CGResult{}
+	res := SolveStats{}
 	for k := 0; k < maxIter; k++ {
 		rnorm := math.Sqrt(simd.Dot(r, r))
 		res.Residual = rnorm / bnorm
+		res.History = append(res.History, res.Residual)
 		if res.Residual < tol {
 			res.Converged = true
 			return res, nil
@@ -132,6 +142,7 @@ func CG(a Operator, x, b []float64, prec Preconditioner, tol float64, maxIter in
 	}
 	rnorm := math.Sqrt(simd.Dot(r, r))
 	res.Residual = rnorm / bnorm
+	res.History = append(res.History, res.Residual)
 	res.Converged = res.Residual < tol
 	return res, nil
 }

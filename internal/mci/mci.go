@@ -181,6 +181,8 @@ func (g *InterfaceGroup) GatherToRoot(local []float64) []float64 {
 	if !g.Member {
 		panic(fmt.Sprintf("mci: non-member rank called GatherToRoot on %q", g.Name))
 	}
+	sp := g.L4.Telemetry().Begin("mci.gather")
+	defer sp.End()
 	parts := g.L4.Gather(0, local)
 	if parts == nil {
 		return nil
@@ -231,6 +233,8 @@ func (g *InterfaceGroup) RootExchange(world *mpi.Comm, peerRootWorld, tagSalt in
 		panic(fmt.Sprintf("mci: tag salt %d for %q out of range [0, %d); derive it with SaltFor",
 			tagSalt, g.Name, mpi.ReservedTagSpan))
 	}
+	sp := world.Telemetry().Begin("mci.rootexchange")
+	defer sp.End()
 	world.SendReserved(peerRootWorld, tagSalt, payload)
 	return world.RecvReserved(peerRootWorld, tagSalt).([]float64)
 }
@@ -243,6 +247,8 @@ func (g *InterfaceGroup) ScatterFromRoot(data []float64, counts []int) []float64
 	if !g.Member {
 		panic(fmt.Sprintf("mci: non-member rank called ScatterFromRoot on %q", g.Name))
 	}
+	sp := g.L4.Telemetry().Begin("mci.scatter")
+	defer sp.End()
 	if g.L4.Rank() == 0 {
 		if len(counts) != g.L4.Size() {
 			panic(fmt.Sprintf("mci: ScatterFromRoot on %q: %d counts for %d members", g.Name, len(counts), g.L4.Size()))
@@ -285,6 +291,8 @@ func (g *InterfaceGroup) BcastFromRoot(data []float64) []float64 {
 // identity with SaltFor (or g.Salt()) so concurrent exchanges over different
 // interface pairs never share a tag.
 func (g *InterfaceGroup) Exchange(world *mpi.Comm, peerRootWorld, tagSalt int, local []float64, recvCounts []int) []float64 {
+	sp := g.L4.Telemetry().Begin("mci.exchange")
+	defer sp.End()
 	gathered := g.GatherToRoot(local)
 	var received []float64
 	if g.L4.Rank() == 0 {

@@ -32,6 +32,8 @@ import (
 	"fmt"
 	"reflect"
 	"sort"
+
+	"nektarg/internal/telemetry"
 )
 
 // Collective op codes folded into reserved (negative) tags.
@@ -145,6 +147,34 @@ type gatherEntry struct {
 	data any
 }
 
+// gatherBundle is the payload of one gather-tree hop: a rank's accumulated
+// subtree entries. It reports its wire size to the telemetry layer as one
+// rank word (8 bytes) plus the payload size per entry, so tree gathers are
+// accounted by actual relayed volume.
+type gatherBundle []gatherEntry
+
+// TelemetryBytes implements telemetry.Sizer.
+func (b gatherBundle) TelemetryBytes() int64 {
+	var n int64
+	for _, e := range b {
+		n += 8 + telemetry.PayloadBytes(e.data)
+	}
+	return n
+}
+
+// scatterBundle is the payload of one scatter-tree hop: the parts destined
+// for a child's subtree, sized as the sum of the parts.
+type scatterBundle []any
+
+// TelemetryBytes implements telemetry.Sizer.
+func (b scatterBundle) TelemetryBytes() int64 {
+	var n int64
+	for _, p := range b {
+		n += telemetry.PayloadBytes(p)
+	}
+	return n
+}
+
 // Gather collects one payload from every rank at root, ordered by rank.
 // Non-root callers receive nil. Binomial tree: each rank accumulates its
 // subtree's entries and forwards them to its parent in one message, so the
@@ -154,7 +184,7 @@ func (c *Comm) Gather(root int, data any) []any {
 	size := c.state.size
 	c.checkRoot(root)
 	vr := (c.rank - root + size) % size
-	entries := []gatherEntry{{rank: c.rank, data: data}}
+	entries := gatherBundle{{rank: c.rank, data: data}}
 	for mask := 1; mask < size; mask <<= 1 {
 		if vr&mask != 0 {
 			c.send((c.rank-mask+size)%size, tag, entries)
@@ -162,7 +192,7 @@ func (c *Comm) Gather(root int, data any) []any {
 		}
 		if vr+mask < size {
 			child := (c.rank + mask) % size
-			got := c.recvMsg(child, tag).data.([]gatherEntry)
+			got := c.recvMsg(child, tag).data.(gatherBundle)
 			entries = append(entries, got...)
 		}
 	}
@@ -183,13 +213,13 @@ func (c *Comm) Scatter(root int, parts []any) any {
 	size := c.state.size
 	c.checkRoot(root)
 	vr := (c.rank - root + size) % size
-	var bundle []any // payloads for virtual ranks [vr, vr+len(bundle))
+	var bundle scatterBundle // payloads for virtual ranks [vr, vr+len(bundle))
 	mask := 1
 	if c.rank == root {
 		if len(parts) != size {
 			panic(fmt.Sprintf("mpi: Scatter needs %d parts, got %d", size, len(parts)))
 		}
-		bundle = make([]any, size)
+		bundle = make(scatterBundle, size)
 		for v := 0; v < size; v++ {
 			bundle[v] = clonePayload(parts[(root+v)%size])
 		}
@@ -201,12 +231,12 @@ func (c *Comm) Scatter(root int, parts []any) any {
 			mask <<= 1
 		}
 		parent := (c.rank - mask + size) % size
-		bundle = c.recvMsg(parent, tag).data.([]any)
+		bundle = c.recvMsg(parent, tag).data.(scatterBundle)
 	}
 	for mask >>= 1; mask > 0; mask >>= 1 {
 		if vr+mask < size {
 			// The child at virtual rank vr+mask serves [vr+mask, vr+2·mask).
-			sub := append([]any(nil), bundle[mask:]...)
+			sub := append(scatterBundle(nil), bundle[mask:]...)
 			c.send((c.rank+mask)%size, tag, sub)
 			bundle = bundle[:mask]
 		}
@@ -467,5 +497,7 @@ func (c *Comm) Split(color, key int, name string) *Comm {
 	if rep.state == nil {
 		return nil
 	}
-	return &Comm{state: rep.state, rank: rep.rank}
+	// Derived communicators inherit the parent's telemetry recorder (same
+	// rank, same track) so traffic on the whole L2/L3/L4 tree is accounted.
+	return &Comm{state: rep.state, rank: rep.rank, rec: c.rec}
 }

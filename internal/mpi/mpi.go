@@ -66,6 +66,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"nektarg/internal/telemetry"
 )
 
 // message is one in-flight point-to-point payload. clock carries the
@@ -132,10 +134,11 @@ type commState struct {
 	size  int
 	boxes []*mailbox
 	name  string
+	level telemetry.Level // MCI level derived from the name; see levelFromName
 }
 
 func newCommState(size int, name string) *commState {
-	s := &commState{size: size, name: name}
+	s := &commState{size: size, name: name, level: levelFromName(name)}
 	s.boxes = make([]*mailbox, size)
 	for i := range s.boxes {
 		s.boxes[i] = newMailbox()
@@ -150,6 +153,7 @@ type Comm struct {
 	rank    int
 	collSeq int // per-rank collective sequence number; all ranks advance in lockstep
 	clock   int // Lamport-style hop clock; see Hops
+	rec     *telemetry.Recorder // per-rank telemetry sink; nil = disabled (see telemetry.go)
 }
 
 // Rank returns this process's rank within the communicator.
@@ -230,6 +234,9 @@ func (c *Comm) SendReserved(dst, salt int, data any) {
 func (c *Comm) send(dst, tag int, data any) {
 	if dst < 0 || dst >= c.state.size {
 		panic(fmt.Sprintf("mpi: Send to rank %d of communicator %q (size %d)", dst, c.state.name, c.state.size))
+	}
+	if c.rec != nil {
+		c.rec.CountMessage(c.state.level, opForTag(tag), telemetry.PayloadBytes(data))
 	}
 	c.clock++
 	c.state.boxes[dst].put(message{src: c.rank, tag: tag, clock: c.clock, data: data})

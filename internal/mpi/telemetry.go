@@ -1,0 +1,264 @@
+package mpi
+
+// Telemetry integration: per-rank traffic accounting hooks and the
+// cluster-wide reporter.
+//
+// Every message is counted exactly once, at the sending rank, inside
+// Comm.send — the single funnel through which point-to-point traffic, the
+// reserved coupling band and every hop of every collective pass. The (level,
+// op) key is derived with no per-message allocation: the communicator level
+// is fixed at communicator creation from its name, and the op is decoded from
+// the tag (negative collective tags embed their op code; the reserved band is
+// coupling traffic; everything else is user point-to-point).
+//
+// The cluster-wide reporter (ReduceTelemetry) aggregates per-rank stage and
+// gauge records with the existing tree collectives: one tree Gather + Bcast
+// fixes a canonical name order, then tree Reduce with Sum/Min/Max combines
+// the aligned numeric vectors — O(log P) depth, same merge rule as the
+// serial telemetry.Aggregate.
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"nektarg/internal/telemetry"
+)
+
+// AttachTelemetry installs a per-rank recorder on this communicator handle.
+// The recorder is inherited by communicators later derived via Split, so
+// attaching on World before mci.Build instruments the whole L2/L3/L4 tree.
+// The recorder's hop clock is bound to this communicator. Passing nil
+// detaches. Like the handle itself, the recorder must be owned by this rank's
+// goroutine only.
+func (c *Comm) AttachTelemetry(rec *telemetry.Recorder) {
+	c.rec = rec
+	if rec != nil {
+		rec.SetHopClock(c.Hops)
+	}
+}
+
+// Telemetry returns the attached recorder (nil when telemetry is disabled).
+func (c *Comm) Telemetry() *telemetry.Recorder {
+	if c == nil {
+		return nil
+	}
+	return c.rec
+}
+
+// levelFromName classifies a communicator by the MCI naming scheme used in
+// Split ("world", "world/L2.0", "world/L3.1", "world/L3.1/L4:inlet.0").
+// Deepest level wins, so an L4 derived from an L3 counts as L4.
+func levelFromName(name string) telemetry.Level {
+	switch {
+	case strings.Contains(name, "/L4"):
+		return telemetry.LevelL4
+	case strings.Contains(name, "/L3"):
+		return telemetry.LevelL3
+	case strings.Contains(name, "/L2"):
+		return telemetry.LevelL2
+	case name == "world":
+		return telemetry.LevelWorld
+	default:
+		return telemetry.LevelOther
+	}
+}
+
+// opForTag decodes the traffic kind from a message tag: negative tags are
+// collective rounds carrying their op code (see collTag), the reserved band
+// is coupling traffic (the MCI root-to-root exchange), and non-negative user
+// tags are point-to-point. Split is composed from Gather + Scatter and is
+// accounted as such on the parent communicator.
+func opForTag(tag int) telemetry.Op {
+	if tag < 0 {
+		switch (-tag) & 15 {
+		case opBarrier:
+			return telemetry.OpBarrier
+		case opBcast:
+			return telemetry.OpBcast
+		case opGather:
+			return telemetry.OpGather
+		case opScatter:
+			return telemetry.OpScatter
+		case opAllreduce:
+			return telemetry.OpAllreduce
+		case opAllgather:
+			return telemetry.OpAllgather
+		case opReduce:
+			return telemetry.OpReduce
+		case opAlltoall:
+			return telemetry.OpAlltoall
+		}
+		return telemetry.OpP2P
+	}
+	if tag >= ReservedTagBase {
+		return telemetry.OpCoupling
+	}
+	return telemetry.OpP2P
+}
+
+// Per-stage reduction vector layout (see ReduceTelemetry).
+const (
+	stageSumFields = 5 // count, total, hops, tracks, sum-of-track-totals
+	stageMinFields = 2 // per-track total, per-span min
+	stageMaxFields = 2 // per-track total, per-span max
+	gaugeSumFields = 3 // count, sum, tracks
+)
+
+// ReduceTelemetry aggregates every rank's telemetry snapshot at root using
+// the tree collectives and returns the cluster statistics there (nil on
+// non-root ranks). It must be called collectively by every rank of c; ranks
+// without a recorder pass nil and contribute empty records. The snapshot is
+// taken before any reporter traffic flows, so the reporter does not count
+// itself.
+func ReduceTelemetry(c *Comm, rec *telemetry.Recorder, root int) *telemetry.ClusterStats {
+	snap := rec.Snapshot()
+	present := 0.0
+	if snap == nil {
+		snap = &telemetry.Snapshot{
+			Stages: map[string]telemetry.StageStats{},
+			Gauges: map[string]telemetry.GaugeStats{},
+		}
+	} else {
+		present = 1
+	}
+
+	stageNames := canonicalNames(c, root, snap.StageNames())
+	gaugeNames := make([]string, 0, len(snap.Gauges))
+	for n := range snap.Gauges {
+		gaugeNames = append(gaugeNames, n)
+	}
+	sort.Strings(gaugeNames)
+	gaugeNames = canonicalNames(c, root, gaugeNames)
+
+	inf := math.Inf(1)
+	ns, ng := len(stageNames), len(gaugeNames)
+	sumVec := make([]float64, 1+ns*stageSumFields+ng*gaugeSumFields)
+	minVec := make([]float64, ns*stageMinFields+ng)
+	maxVec := make([]float64, ns*stageMaxFields+ng)
+	sumVec[0] = present
+	for i, name := range stageNames {
+		st, ok := snap.Stages[name]
+		so := 1 + i*stageSumFields
+		mo := i * stageMinFields
+		xo := i * stageMaxFields
+		if !ok {
+			minVec[mo], minVec[mo+1] = inf, inf
+			maxVec[xo], maxVec[xo+1] = -inf, -inf
+			continue
+		}
+		sumVec[so] = float64(st.Count)
+		sumVec[so+1] = st.Total
+		sumVec[so+2] = float64(st.Hops)
+		sumVec[so+3] = 1 // this rank recorded the stage
+		sumVec[so+4] = st.Total
+		minVec[mo], minVec[mo+1] = st.Total, st.Min
+		maxVec[xo], maxVec[xo+1] = st.Total, st.Max
+	}
+	for i, name := range gaugeNames {
+		g, ok := snap.Gauges[name]
+		so := 1 + ns*stageSumFields + i*gaugeSumFields
+		mo := ns*stageMinFields + i
+		xo := ns*stageMaxFields + i
+		if !ok {
+			minVec[mo] = inf
+			maxVec[xo] = -inf
+			continue
+		}
+		sumVec[so] = float64(g.Count)
+		sumVec[so+1] = g.Sum
+		sumVec[so+2] = 1
+		minVec[mo] = g.Min
+		maxVec[xo] = g.Max
+	}
+
+	// Traffic is integer identity data: reduce exactly with ReduceInt.
+	tvec := make([]int, 0, int(telemetry.NumLevels)*int(telemetry.NumOps)*2)
+	for l := telemetry.Level(0); l < telemetry.NumLevels; l++ {
+		for op := telemetry.Op(0); op < telemetry.NumOps; op++ {
+			t := snap.Traffic[l][op]
+			tvec = append(tvec, int(t.Msgs), int(t.Bytes))
+		}
+	}
+
+	sums := c.Reduce(root, sumVec, Sum)
+	mins := c.Reduce(root, minVec, Min)
+	maxs := c.Reduce(root, maxVec, Max)
+	traf := c.ReduceInt(root, tvec, SumInt)
+	if c.Rank() != root {
+		return nil
+	}
+
+	cs := &telemetry.ClusterStats{Tracks: int(sums[0])}
+	for i, name := range stageNames {
+		so := 1 + i*stageSumFields
+		mo := i * stageMinFields
+		xo := i * stageMaxFields
+		tracks := sums[so+3]
+		if tracks == 0 {
+			continue
+		}
+		mean := sums[so+4] / tracks
+		imb := 1.0
+		if mean > 0 {
+			imb = maxs[xo] / mean
+		}
+		cs.Stages = append(cs.Stages, telemetry.ClusterStage{
+			Name:      name,
+			Count:     int64(sums[so]),
+			Tracks:    int(tracks),
+			Total:     sums[so+1],
+			TotalMin:  mins[mo],
+			TotalMean: mean,
+			TotalMax:  maxs[xo],
+			SpanMin:   mins[mo+1],
+			SpanMax:   maxs[xo+1],
+			Imbalance: imb,
+			Hops:      int64(sums[so+2]),
+		})
+	}
+	for i, name := range gaugeNames {
+		so := 1 + ns*stageSumFields + i*gaugeSumFields
+		count := sums[so]
+		if sums[so+2] == 0 || count == 0 {
+			continue
+		}
+		cs.Gauges = append(cs.Gauges, telemetry.ClusterGauge{
+			Name:  name,
+			Count: int64(count),
+			Mean:  sums[so+1] / count,
+			Min:   mins[ns*stageMinFields+i],
+			Max:   maxs[ns*stageMaxFields+i],
+			Sum:   sums[so+1],
+		})
+	}
+	k := 0
+	for l := telemetry.Level(0); l < telemetry.NumLevels; l++ {
+		for op := telemetry.Op(0); op < telemetry.NumOps; op++ {
+			cs.Traffic[l][op] = telemetry.Traffic{Msgs: int64(traf[k]), Bytes: int64(traf[k+1])}
+			k += 2
+		}
+	}
+	return cs
+}
+
+// canonicalNames computes the sorted union of every rank's name list and
+// distributes it to all ranks (tree Gather up, tree Bcast down).
+func canonicalNames(c *Comm, root int, mine []string) []string {
+	all := c.Gather(root, mine)
+	var canon []string
+	if c.Rank() == root {
+		set := map[string]bool{}
+		for _, raw := range all {
+			for _, n := range raw.([]string) {
+				set[n] = true
+			}
+		}
+		canon = make([]string, 0, len(set))
+		for n := range set {
+			canon = append(canon, n)
+		}
+		sort.Strings(canon)
+	}
+	return c.Bcast(root, canon).([]string)
+}

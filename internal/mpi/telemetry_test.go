@@ -1,0 +1,236 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"nektarg/internal/telemetry"
+)
+
+func TestLevelFromName(t *testing.T) {
+	cases := []struct {
+		name string
+		want telemetry.Level
+	}{
+		{"world", telemetry.LevelWorld},
+		{"world/L2.0", telemetry.LevelL2},
+		{"world/L3.1", telemetry.LevelL3},
+		{"world/L3.1/L4:inlet.0", telemetry.LevelL4},
+		{"custom", telemetry.LevelOther},
+	}
+	for _, c := range cases {
+		if got := levelFromName(c.name); got != c.want {
+			t.Errorf("levelFromName(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestOpForTag(t *testing.T) {
+	// Collective tags are -(seq*16 + op); check a couple of sequence values.
+	for _, seq := range []int{1, 7} {
+		cases := []struct {
+			op   int
+			want telemetry.Op
+		}{
+			{opBarrier, telemetry.OpBarrier},
+			{opBcast, telemetry.OpBcast},
+			{opGather, telemetry.OpGather},
+			{opScatter, telemetry.OpScatter},
+			{opAllreduce, telemetry.OpAllreduce},
+			{opAllgather, telemetry.OpAllgather},
+			{opReduce, telemetry.OpReduce},
+			{opAlltoall, telemetry.OpAlltoall},
+		}
+		for _, c := range cases {
+			if got := opForTag(-(seq*16 + c.op)); got != c.want {
+				t.Errorf("opForTag(seq=%d, op=%d) = %v, want %v", seq, c.op, got, c.want)
+			}
+		}
+	}
+	if got := opForTag(5); got != telemetry.OpP2P {
+		t.Errorf("user tag = %v, want p2p", got)
+	}
+	if got := opForTag(ReservedTagBase + 17); got != telemetry.OpCoupling {
+		t.Errorf("reserved tag = %v, want coupling", got)
+	}
+}
+
+// TestSendCountsAtSender pins the count-once-at-the-sender rule for plain
+// point-to-point traffic.
+func TestSendCountsAtSender(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	err := Run(2, func(w *Comm) {
+		rec := reg.NewRecorder(fmt.Sprintf("rank%d", w.Rank()))
+		w.AttachTelemetry(rec)
+		if w.Rank() == 0 {
+			w.Send(1, 3, []float64{1, 2, 3, 4, 5})
+			s := rec.Snapshot()
+			if got := s.Traffic[telemetry.LevelWorld][telemetry.OpP2P]; got.Msgs != 1 || got.Bytes != 40 {
+				t.Errorf("sender traffic = %+v, want {1 40}", got)
+			}
+		} else {
+			w.Recv(0, 3)
+			s := rec.Snapshot()
+			if got := s.Traffic.Total(); got.Msgs != 0 {
+				t.Errorf("receiver counted %+v; messages must be counted at the sender only", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBcastTrafficAttribution checks that every tree hop of a collective is
+// attributed to the collective's op: a binomial Bcast over P ranks moves
+// exactly P-1 messages of the full payload each.
+func TestBcastTrafficAttribution(t *testing.T) {
+	const P = 8
+	const n = 11 // floats per payload
+	reg := telemetry.NewRegistry()
+	err := Run(P, func(w *Comm) {
+		rec := reg.NewRecorder(fmt.Sprintf("rank%d", w.Rank()))
+		w.AttachTelemetry(rec)
+		var data []float64
+		if w.Rank() == 2 {
+			data = make([]float64, n)
+		}
+		got := w.Bcast(2, data).([]float64)
+		if len(got) != n {
+			t.Errorf("rank %d bcast len %d", w.Rank(), len(got))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := telemetry.AggregateRecorders(reg.Recorders())
+	b := cs.Traffic[telemetry.LevelWorld][telemetry.OpBcast]
+	if b.Msgs != P-1 {
+		t.Fatalf("bcast msgs = %d, want %d", b.Msgs, P-1)
+	}
+	if b.Bytes != int64(P-1)*8*n {
+		t.Fatalf("bcast bytes = %d, want %d", b.Bytes, (P-1)*8*n)
+	}
+}
+
+// TestSplitInheritsRecorderAndLevel checks that derived communicators carry
+// the parent's recorder and classify their traffic by the MCI naming scheme.
+func TestSplitInheritsRecorderAndLevel(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	err := Run(4, func(w *Comm) {
+		rec := reg.NewRecorder(fmt.Sprintf("rank%d", w.Rank()))
+		w.AttachTelemetry(rec)
+		l2 := w.Split(w.Rank()%2, w.Rank(), "L2")
+		rec.ResetCounters() // discard the Split's own gather/scatter traffic
+		if l2.Telemetry() != rec {
+			t.Errorf("rank %d: split did not inherit the recorder", w.Rank())
+		}
+		// A send on the derived comm must land in the L2 bucket.
+		peer := 1 - l2.Rank()
+		l2.Send(peer, 0, []float64{1})
+		l2.Recv(peer, 0)
+		s := rec.Snapshot()
+		if got := s.Traffic[telemetry.LevelL2][telemetry.OpP2P]; got.Msgs != 1 || got.Bytes != 8 {
+			t.Errorf("rank %d: L2 traffic = %+v, want {1 8}", w.Rank(), got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReduceTelemetry exercises the cluster-wide tree reporter: per-rank
+// stage, gauge and traffic records are reduced at the root with the same
+// merge rule as the serial Aggregate.
+func TestReduceTelemetry(t *testing.T) {
+	const P = 4
+	err := Run(P, func(w *Comm) {
+		reg := telemetry.NewRegistry()
+		rec := reg.NewRecorder(fmt.Sprintf("rank%d", w.Rank()))
+		w.AttachTelemetry(rec)
+		rec.ResetCounters()
+		// Rank r records a (r+1)-second span, one gauge sample of value r,
+		// and r coupling messages of 10 bytes. Rank 3 also records a stage
+		// nobody else has, exercising canonical-name alignment.
+		rec.RecordSpan("work", 0, time.Duration(w.Rank()+1)*time.Second, 0, w.Rank())
+		rec.Gauge("val", float64(w.Rank()))
+		for i := 0; i < w.Rank(); i++ {
+			rec.CountMessage(telemetry.LevelWorld, telemetry.OpCoupling, 10)
+		}
+		if w.Rank() == 3 {
+			rec.RecordSpan("solo", 0, 2*time.Second, 0, 0)
+		}
+
+		cs := ReduceTelemetry(w, rec, 0)
+		if w.Rank() != 0 {
+			if cs != nil {
+				t.Errorf("rank %d got non-nil cluster stats", w.Rank())
+			}
+			return
+		}
+		if cs.Tracks != P {
+			t.Errorf("tracks = %d, want %d", cs.Tracks, P)
+		}
+		work := cs.Stage("work")
+		if work == nil {
+			t.Fatal("work stage missing")
+		}
+		if work.Count != P || work.Tracks != P {
+			t.Errorf("work count/tracks = %d/%d", work.Count, work.Tracks)
+		}
+		if math.Abs(work.Total-10) > 1e-9 || work.TotalMin != 1 || work.TotalMax != 4 {
+			t.Errorf("work totals = %v [%v..%v], want 10 [1..4]", work.Total, work.TotalMin, work.TotalMax)
+		}
+		if math.Abs(work.TotalMean-2.5) > 1e-9 || math.Abs(work.Imbalance-1.6) > 1e-9 {
+			t.Errorf("work mean/imbalance = %v/%v, want 2.5/1.6", work.TotalMean, work.Imbalance)
+		}
+		if work.Hops != 0+1+2+3 {
+			t.Errorf("work hops = %d, want 6", work.Hops)
+		}
+		solo := cs.Stage("solo")
+		if solo == nil || solo.Tracks != 1 || solo.Count != 1 || solo.TotalMin != 2 || solo.TotalMax != 2 {
+			t.Errorf("solo stage = %+v", solo)
+		}
+		g := cs.Gauge("val")
+		if g == nil || g.Count != P || g.Mean != 1.5 || g.Min != 0 || g.Max != 3 {
+			t.Errorf("gauge = %+v", g)
+		}
+		// Traffic: ranks contributed 0+1+2+3 = 6 msgs of 10 bytes. The
+		// snapshot-first rule means the reporter's own collectives are not
+		// in the result.
+		if tr := cs.Traffic[telemetry.LevelWorld][telemetry.OpCoupling]; tr.Msgs != 6 || tr.Bytes != 60 {
+			t.Errorf("coupling traffic = %+v, want {6 60}", tr)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReduceTelemetryToleratesNilRecorders: ranks without a recorder
+// contribute empty records and do not corrupt min/max.
+func TestReduceTelemetryToleratesNilRecorders(t *testing.T) {
+	err := Run(3, func(w *Comm) {
+		var rec *telemetry.Recorder
+		if w.Rank() == 1 {
+			rec = telemetry.NewRegistry().NewRecorder("only")
+			rec.RecordSpan("s", 0, 3*time.Second, 0, 0)
+		}
+		cs := ReduceTelemetry(w, rec, 0)
+		if w.Rank() != 0 {
+			return
+		}
+		if cs.Tracks != 1 {
+			t.Errorf("tracks = %d, want 1", cs.Tracks)
+		}
+		s := cs.Stage("s")
+		if s == nil || s.Tracks != 1 || s.TotalMin != 3 || s.TotalMax != 3 {
+			t.Errorf("stage = %+v", s)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"nektarg/internal/linalg"
+	"nektarg/internal/telemetry"
 )
 
 // Windkessel is the lumped RC outflow model the paper couples to every
@@ -59,6 +60,10 @@ type Network struct {
 	Junctions []*Junction
 	Time      float64
 	Steps     int
+
+	// Rec is the optional per-rank telemetry recorder; nil (the default)
+	// disables the 1d.* spans at nil-receiver no-op cost.
+	Rec *telemetry.Recorder
 }
 
 // AddSegment registers a segment.
@@ -70,6 +75,8 @@ func (n *Network) AddSegment(s *Segment) *Segment {
 // Step advances the whole network by dt. It returns an error if the CFL
 // bound is violated or a junction solve fails.
 func (n *Network) Step(dt float64) error {
+	sp := n.Rec.Begin("1d.step")
+	defer sp.End()
 	for _, s := range n.Segments {
 		if cfl := s.MaxCFL(dt); cfl > 1 {
 			return fmt.Errorf("nektar1d: CFL %0.2f > 1 on segment %q", cfl, s.Name)
@@ -132,6 +139,8 @@ func (n *Network) Step(dt float64) error {
 
 // Run advances nSteps steps of size dt.
 func (n *Network) Run(nSteps int, dt float64) error {
+	sp := n.Rec.Begin("1d.run")
+	defer sp.End()
 	for i := 0; i < nSteps; i++ {
 		if err := n.Step(dt); err != nil {
 			return fmt.Errorf("step %d: %w", n.Steps, err)

@@ -110,9 +110,18 @@ func TestHelmholtzDirichletManufactured(t *testing.T) {
 	for i := range f {
 		f[i] = (lambda + 3*math.Pi*math.Pi) * exact[i]
 	}
-	u, err := g.SolveHelmholtzDirichlet(lambda, f, g.NewField(), nil, 1e-10, 8000)
+	u, st, err := g.SolveHelmholtzDirichlet(lambda, f, g.NewField(), nil, 1e-10, 8000)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !st.Converged || st.Iterations == 0 {
+		t.Fatalf("expected converged stats with iterations > 0, got %+v", st)
+	}
+	if len(st.History) != st.Iterations+1 {
+		t.Fatalf("history length %d, want iterations+1 = %d", len(st.History), st.Iterations+1)
+	}
+	if st.History[0] < st.History[len(st.History)-1] {
+		t.Fatalf("residual history not decreasing: first %g last %g", st.History[0], st.History[len(st.History)-1])
 	}
 	var maxErr float64
 	for i := range u {
@@ -137,7 +146,7 @@ func TestHelmholtzSpectralConvergence3D(t *testing.T) {
 		for i := range f {
 			f[i] = (lambda + 3*math.Pi*math.Pi) * exact[i]
 		}
-		u, err := g.SolveHelmholtzDirichlet(lambda, f, g.NewField(), nil, 1e-12, 8000)
+		u, _, err := g.SolveHelmholtzDirichlet(lambda, f, g.NewField(), nil, 1e-12, 8000)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -167,9 +176,12 @@ func TestPoissonNeumannManufactured(t *testing.T) {
 	for i := range s {
 		s[i] = -2 * math.Pi * math.Pi * exact[i]
 	}
-	p, err := g.SolvePoissonNeumann(s, nil, 1e-11, 10000)
+	p, st, err := g.SolvePoissonNeumann(s, nil, 1e-11, 10000)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if st.Iterations == 0 || len(st.History) == 0 {
+		t.Fatalf("expected solve stats to be populated, got %+v", st)
 	}
 	// Both are mean-free; compare directly.
 	var maxErr float64

@@ -190,8 +190,11 @@ func (g *Grid) removeMean(f []float64) {
 // SolveHelmholtzDirichlet solves (lambda*M + K) u = M f with u = gBC on
 // every Dirichlet (non-periodic boundary) node; f and gBC are nodal fields
 // (gBC consulted on the mask only). Overwrites and returns u; uInit provides
-// the initial guess ("predicting a good initial state").
-func (g *Grid) SolveHelmholtzDirichlet(lambda float64, f, gBC, uInit []float64, tol float64, maxIter int) ([]float64, error) {
+// the initial guess ("predicting a good initial state"). The returned
+// SolveStats carries the inner CG iteration count and residual history so
+// telemetry and tests can assert convergence behavior instead of discarding
+// it.
+func (g *Grid) SolveHelmholtzDirichlet(lambda float64, f, gBC, uInit []float64, tol float64, maxIter int) ([]float64, linalg.SolveStats, error) {
 	mask := g.BoundaryMask()
 
 	// Lifting: u = u0 + ug, with ug = gBC on the mask and 0 inside.
@@ -238,22 +241,23 @@ func (g *Grid) SolveHelmholtzDirichlet(lambda float64, f, gBC, uInit []float64, 
 	mop := helmholtzOp{g: g, lambda: lambda, mask: mask}
 	res, err := linalg.CG(mop, x, b, linalg.NewJacobiPrec(diag), tol, maxIter)
 	if err != nil {
-		return nil, err
+		return nil, res, err
 	}
 	if !res.Converged {
-		return nil, fmt.Errorf("nektar3d: Helmholtz CG stalled at %g after %d iterations", res.Residual, res.Iterations)
+		return nil, res, fmt.Errorf("nektar3d: Helmholtz CG stalled at %g after %d iterations", res.Residual, res.Iterations)
 	}
 	for i := range x {
 		x[i] += ug[i]
 	}
-	return x, nil
+	return x, res, nil
 }
 
 // SolvePoissonNeumann solves K p = -M s (that is, ∇²p = s weakly) with
 // homogeneous Neumann boundaries on all non-periodic faces. The constant
 // null space is removed from both right-hand side and solution. pInit seeds
-// CG.
-func (g *Grid) SolvePoissonNeumann(s, pInit []float64, tol float64, maxIter int) ([]float64, error) {
+// CG. The returned SolveStats carries the CG iteration count and residual
+// history.
+func (g *Grid) SolvePoissonNeumann(s, pInit []float64, tol float64, maxIter int) ([]float64, linalg.SolveStats, error) {
 	n := g.NumNodes()
 	b := make([]float64, n)
 	for i := range b {
@@ -285,13 +289,13 @@ func (g *Grid) SolvePoissonNeumann(s, pInit []float64, tol float64, maxIter int)
 	prec := meanFreePrec{inner: linalg.NewJacobiPrec(diag)}
 	res, err := linalg.CG(op, x, b, prec, tol, maxIter)
 	if err != nil {
-		return nil, err
+		return nil, res, err
 	}
 	if !res.Converged && res.Residual > math.Sqrt(tol) {
-		return nil, fmt.Errorf("nektar3d: Poisson CG stalled at %g after %d iterations", res.Residual, res.Iterations)
+		return nil, res, fmt.Errorf("nektar3d: Poisson CG stalled at %g after %d iterations", res.Residual, res.Iterations)
 	}
 	g.removeMean(x)
-	return x, nil
+	return x, res, nil
 }
 
 // Gradient computes the collocation gradient of a nodal field, averaging the

@@ -2,6 +2,9 @@ package nektar3d
 
 import (
 	"fmt"
+
+	"nektarg/internal/linalg"
+	"nektarg/internal/telemetry"
 )
 
 // BCFunc supplies Dirichlet velocity at a boundary node; the solver queries
@@ -41,6 +44,12 @@ type Solver struct {
 	// Steps counts completed time steps; Time is the current time.
 	Steps int
 	Time  float64
+
+	// Rec is the optional per-rank telemetry recorder. When nil (the
+	// default) instrumentation compiles to nil-receiver no-ops. When set,
+	// Step emits ns.* spans for each stage of the splitting scheme and
+	// gauges for the inner CG iteration counts and residuals.
+	Rec *telemetry.Recorder
 
 	mask []bool
 	bcU  []float64 // scratch Dirichlet value fields
@@ -145,6 +154,9 @@ func (s *Solver) Step() error {
 	dt := s.Dt
 	tNew := s.Time + dt
 
+	step := s.Rec.Begin("ns.step")
+	defer step.End()
+
 	order := s.Order
 	if order < 1 || order > 2 {
 		return fmt.Errorf("nektar3d: unsupported time order %d", s.Order)
@@ -155,6 +167,7 @@ func (s *Solver) Step() error {
 
 	// 1. Explicit step: û = Σ α_q u^{n-q} + dt Σ β_q (f - N)^{n-q};
 	// order 1: α = (1), β = (1); order 2: α = (2, -1/2), β = (2, -1).
+	adv := s.Rec.Begin("ns.advection")
 	exu, exv, exw := s.explicitTerm()
 	us := g.NewField()
 	vs := g.NewField()
@@ -179,25 +192,32 @@ func (s *Solver) Step() error {
 	s.vPrev = append(s.vPrev[:0], s.V...)
 	s.wPrev = append(s.wPrev[:0], s.W...)
 	s.exuPrev, s.exvPrev, s.exwPrev = exu, exv, exw
+	adv.End()
 
 	// 2. Pressure Poisson: ∇²p = ∇·û/dt, homogeneous Neumann.
+	pr := s.Rec.Begin("ns.pressure")
 	div := g.Divergence(us, vs, ws)
 	for i := range div {
 		div[i] /= dt
 	}
-	p, err := g.SolvePoissonNeumann(div, s.Pr, s.Tol, s.MaxIter)
+	p, pst, err := g.SolvePoissonNeumann(div, s.Pr, s.Tol, s.MaxIter)
+	pr.End()
 	if err != nil {
 		return fmt.Errorf("pressure solve: %w", err)
 	}
+	s.Rec.Gauge("ns.pressure.iters", float64(pst.Iterations))
+	s.Rec.Gauge("ns.pressure.residual", pst.Residual)
 	s.Pr = p
 
 	// 3. Projection: û̂ = û - dt ∇p.
+	proj := s.Rec.Begin("ns.projection")
 	px, py, pz := g.Gradient(p)
 	for i := range us {
 		us[i] -= dt * px[i]
 		vs[i] -= dt * py[i]
 		ws[i] -= dt * pz[i]
 	}
+	proj.End()
 
 	// 4. Implicit viscous solve: (γ0 M/(ν dt) + K) u^{n+1} = M û̂/(ν dt),
 	// Dirichlet velocity boundaries at t^{n+1}.
@@ -212,15 +232,27 @@ func (s *Solver) Step() error {
 		rhsV[i] = vs[i] * scale
 		rhsW[i] = ws[i] * scale
 	}
-	if s.U, err = g.SolveHelmholtzDirichlet(lambda, rhsU, s.bcU, s.U, s.Tol, s.MaxIter); err != nil {
+	helm := s.Rec.Begin("ns.helmholtz")
+	var hst linalg.SolveStats
+	var hIters int
+	if s.U, hst, err = g.SolveHelmholtzDirichlet(lambda, rhsU, s.bcU, s.U, s.Tol, s.MaxIter); err != nil {
+		helm.End()
 		return fmt.Errorf("viscous solve u: %w", err)
 	}
-	if s.V, err = g.SolveHelmholtzDirichlet(lambda, rhsV, s.bcV, s.V, s.Tol, s.MaxIter); err != nil {
+	hIters += hst.Iterations
+	if s.V, hst, err = g.SolveHelmholtzDirichlet(lambda, rhsV, s.bcV, s.V, s.Tol, s.MaxIter); err != nil {
+		helm.End()
 		return fmt.Errorf("viscous solve v: %w", err)
 	}
-	if s.W, err = g.SolveHelmholtzDirichlet(lambda, rhsW, s.bcW, s.W, s.Tol, s.MaxIter); err != nil {
+	hIters += hst.Iterations
+	if s.W, hst, err = g.SolveHelmholtzDirichlet(lambda, rhsW, s.bcW, s.W, s.Tol, s.MaxIter); err != nil {
+		helm.End()
 		return fmt.Errorf("viscous solve w: %w", err)
 	}
+	hIters += hst.Iterations
+	helm.End()
+	s.Rec.Gauge("ns.helmholtz.iters", float64(hIters))
+	s.Rec.Gauge("ns.helmholtz.residual", hst.Residual)
 
 	s.Steps++
 	s.Time = tNew

@@ -1,0 +1,232 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ClusterStage is one stage aggregated across tracks/ranks: per-track totals
+// summarized as min/mean/max plus the imbalance ratio max/mean — the paper's
+// per-stage timing-table shape (min/mean/max over 131,072 cores).
+type ClusterStage struct {
+	Name      string  `json:"name"`
+	Count     int64   `json:"count"`       // total occurrences across tracks
+	Tracks    int     `json:"tracks"`      // tracks that recorded the stage
+	Total     float64 `json:"total_s"`     // summed seconds across tracks
+	TotalMin  float64 `json:"min_track_s"` // smallest per-track total
+	TotalMean float64 `json:"mean_track_s"`
+	TotalMax  float64 `json:"max_track_s"`
+	SpanMin   float64 `json:"min_span_s"` // shortest single occurrence
+	SpanMax   float64 `json:"max_span_s"` // longest single occurrence
+	Imbalance float64 `json:"imbalance"`  // TotalMax / TotalMean (1 = perfectly balanced)
+	Hops      int64   `json:"hops"`       // hop-clock advance attributed to the stage
+}
+
+// ClusterGauge is one gauge aggregated across tracks.
+type ClusterGauge struct {
+	Name  string  `json:"name"`
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Sum   float64 `json:"sum"`
+}
+
+// ClusterStats is the cluster-wide (or registry-wide) aggregate: the per-step
+// table the metasolver reports and the telemetry.json summary serializes.
+type ClusterStats struct {
+	Tracks  int            `json:"tracks"`
+	Stages  []ClusterStage `json:"stages"`
+	Gauges  []ClusterGauge `json:"gauges"`
+	Traffic TrafficMatrix  `json:"traffic"`
+}
+
+// Aggregate combines per-track snapshots into cluster statistics. It is the
+// serial counterpart of the mpi tree-Reduce reporter (mpi.ReduceTelemetry),
+// and the merge rule is identical so both paths produce the same tables.
+func Aggregate(snaps []*Snapshot) *ClusterStats {
+	cs := &ClusterStats{}
+	type acc struct {
+		stats  StageStats
+		tracks int
+		min    float64 // min per-track total
+		max    float64 // max per-track total
+		sum    float64 // sum of per-track totals
+	}
+	stages := map[string]*acc{}
+	gauges := map[string]*GaugeStats{}
+	gaugeCounts := map[string]int{}
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		cs.Tracks++
+		cs.Traffic.add(&s.Traffic)
+		for name, st := range s.Stages {
+			a := stages[name]
+			if a == nil {
+				a = &acc{min: st.Total, max: st.Total}
+				stages[name] = a
+			} else {
+				if st.Total < a.min {
+					a.min = st.Total
+				}
+				if st.Total > a.max {
+					a.max = st.Total
+				}
+			}
+			a.stats.fold(st)
+			a.tracks++
+			a.sum += st.Total
+		}
+		for name, g := range s.Gauges {
+			t := gauges[name]
+			if t == nil {
+				gauges[name] = &GaugeStats{Count: g.Count, Sum: g.Sum, Min: g.Min, Max: g.Max, Last: g.Last}
+			} else {
+				t.Count += g.Count
+				t.Sum += g.Sum
+				if g.Min < t.Min {
+					t.Min = g.Min
+				}
+				if g.Max > t.Max {
+					t.Max = g.Max
+				}
+				t.Last = g.Last
+			}
+			gaugeCounts[name]++
+		}
+	}
+	for name, a := range stages {
+		mean := a.sum / float64(a.tracks)
+		imb := 1.0
+		if mean > 0 {
+			imb = a.max / mean
+		}
+		cs.Stages = append(cs.Stages, ClusterStage{
+			Name:      name,
+			Count:     a.stats.Count,
+			Tracks:    a.tracks,
+			Total:     a.sum,
+			TotalMin:  a.min,
+			TotalMean: mean,
+			TotalMax:  a.max,
+			SpanMin:   a.stats.Min,
+			SpanMax:   a.stats.Max,
+			Imbalance: imb,
+			Hops:      a.stats.Hops,
+		})
+	}
+	sort.Slice(cs.Stages, func(i, j int) bool { return cs.Stages[i].Name < cs.Stages[j].Name })
+	for name, g := range gauges {
+		cs.Gauges = append(cs.Gauges, ClusterGauge{
+			Name: name, Count: g.Count, Mean: g.Mean(), Min: g.Min, Max: g.Max, Sum: g.Sum,
+		})
+	}
+	sort.Slice(cs.Gauges, func(i, j int) bool { return cs.Gauges[i].Name < cs.Gauges[j].Name })
+	return cs
+}
+
+// AggregateRecorders snapshots and aggregates a registry's recorders.
+func AggregateRecorders(recs []*Recorder) *ClusterStats {
+	snaps := make([]*Snapshot, 0, len(recs))
+	for _, r := range recs {
+		if s := r.Snapshot(); s != nil {
+			snaps = append(snaps, s)
+		}
+	}
+	return Aggregate(snaps)
+}
+
+// Stage returns the named stage, or nil.
+func (cs *ClusterStats) Stage(name string) *ClusterStage {
+	for i := range cs.Stages {
+		if cs.Stages[i].Name == name {
+			return &cs.Stages[i]
+		}
+	}
+	return nil
+}
+
+// Gauge returns the named gauge aggregate, or nil.
+func (cs *ClusterStats) Gauge(name string) *ClusterGauge {
+	for i := range cs.Gauges {
+		if cs.Gauges[i].Name == name {
+			return &cs.Gauges[i]
+		}
+	}
+	return nil
+}
+
+// CouplingFraction returns total(couplingStage)/total(totalStage): the
+// paper's coupling-overhead metric ("the MCI overhead stays below 2-3% of
+// the step time"). Returns 0 when either stage is absent or empty.
+func (cs *ClusterStats) CouplingFraction(couplingStage, totalStage string) float64 {
+	c := cs.Stage(couplingStage)
+	t := cs.Stage(totalStage)
+	if c == nil || t == nil || t.Total <= 0 {
+		return 0
+	}
+	return c.Total / t.Total
+}
+
+// FormatStageTable renders the per-stage timing table: count, per-occurrence
+// mean, per-track min/mean/max totals and the imbalance ratio.
+func (cs *ClusterStats) FormatStageTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s %7s %10s %10s %10s %10s %7s %6s\n",
+		"stage", "count", "per-call", "min/track", "mean/track", "max/track", "imbal", "hops")
+	for _, s := range cs.Stages {
+		perCall := 0.0
+		if s.Count > 0 {
+			perCall = s.Total / float64(s.Count)
+		}
+		fmt.Fprintf(&b, "%-26s %7d %10s %10s %10s %10s %6.2fx %6d\n",
+			s.Name, s.Count, fmtDur(perCall), fmtDur(s.TotalMin), fmtDur(s.TotalMean), fmtDur(s.TotalMax), s.Imbalance, s.Hops)
+	}
+	return b.String()
+}
+
+// FormatTrafficTable renders the nonzero cells of the traffic matrix grouped
+// by communicator level — the MCI 3-step exchange accounting.
+func (cs *ClusterStats) FormatTrafficTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-10s %10s %14s\n", "level", "op", "msgs", "bytes")
+	for l := Level(0); l < NumLevels; l++ {
+		for op := Op(0); op < NumOps; op++ {
+			t := cs.Traffic[l][op]
+			if t.Msgs == 0 && t.Bytes == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%-8s %-10s %10d %14d\n", l, op, t.Msgs, t.Bytes)
+		}
+	}
+	return b.String()
+}
+
+// FormatGaugeTable renders the gauge aggregates.
+func (cs *ClusterStats) FormatGaugeTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s %8s %12s %12s %12s %12s\n", "gauge", "count", "mean", "min", "max", "last-sum")
+	for _, g := range cs.Gauges {
+		fmt.Fprintf(&b, "%-26s %8d %12.4g %12.4g %12.4g %12.4g\n", g.Name, g.Count, g.Mean, g.Min, g.Max, g.Sum)
+	}
+	return b.String()
+}
+
+// fmtDur renders seconds with an adaptive unit.
+func fmtDur(s float64) string {
+	switch {
+	case s == 0:
+		return "0"
+	case s < 1e-6:
+		return fmt.Sprintf("%.0fns", s*1e9)
+	case s < 1e-3:
+		return fmt.Sprintf("%.1fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", s)
+	}
+}

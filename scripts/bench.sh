@@ -1,0 +1,34 @@
+#!/bin/sh
+# Benchmark bundle for the observability PR: communication-layer latency,
+# telemetry overhead (enabled vs disabled instrumentation paths), and the
+# paper's scaling tables in machine-readable form.
+#
+# Produces BENCH_telemetry.json in the repo root: a single JSON document
+# with the scaling tables (as emitted by `go run ./cmd/scaling -json`)
+# plus raw `go test -bench` transcripts for the comm and telemetry suites.
+#
+# Usage: scripts/bench.sh   (or: make bench-telemetry)
+set -eu
+
+cd "$(dirname "$0")/.."
+out=BENCH_telemetry.json
+
+echo "== comm benchmarks (collectives + MCI exchange) =="
+comm=$(go test -run '^$' \
+	-bench 'BenchmarkBcast|BenchmarkAllreduce|BenchmarkAllgather|BenchmarkBarrier|BenchmarkMCIExchange' \
+	-benchtime=30x . 2>&1)
+printf '%s\n' "$comm"
+
+echo "== telemetry overhead benchmarks (disabled vs enabled path) =="
+tele=$(go test -run '^$' -bench 'Benchmark' -benchmem ./internal/telemetry 2>&1)
+printf '%s\n' "$tele"
+
+echo "== scaling tables (cmd/scaling -json) =="
+tables=$(go run ./cmd/scaling -json)
+
+# Assemble the bundle without extra tooling: the bench transcripts are
+# embedded as JSON string arrays (one element per line) via go run so we
+# need no jq/python in the container.
+COMM="$comm" TELE="$tele" TABLES="$tables" go run ./scripts/benchjson >"$out"
+
+echo "wrote $out"

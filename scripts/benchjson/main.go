@@ -1,0 +1,90 @@
+// Benchjson assembles BENCH_telemetry.json for scripts/bench.sh: it reads
+// the comm and telemetry benchmark transcripts plus the scaling tables from
+// the COMM, TELE and TABLES environment variables and emits one indented
+// JSON document on stdout. Bench transcripts are parsed into structured
+// {name, value, unit} samples (standard `go test -bench` line format) with
+// the raw lines preserved alongside.
+package main
+
+import (
+	"encoding/json"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Sample is one measurement from a `go test -bench` output line. A line
+//
+//	BenchmarkBcast/p=8-16   30   51042 ns/op   1234 B/op   7 allocs/op
+//
+// yields three samples: ns/op, B/op and allocs/op, all under the same name.
+type Sample struct {
+	Name  string  `json:"name"`
+	Iters int64   `json:"iters"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+}
+
+func parseBench(out string) (lines []string, samples []Sample) {
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		lines = append(lines, line)
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		// Value/unit pairs follow: 51042 ns/op 1234 B/op 7 allocs/op ...
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			samples = append(samples, Sample{Name: f[0], Iters: iters, Value: v, Unit: f[i+1]})
+		}
+	}
+	return lines, samples
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+
+	commLines, commSamples := parseBench(os.Getenv("COMM"))
+	teleLines, teleSamples := parseBench(os.Getenv("TELE"))
+
+	var tables json.RawMessage
+	if raw := strings.TrimSpace(os.Getenv("TABLES")); raw != "" {
+		if !json.Valid([]byte(raw)) {
+			log.Fatal("TABLES is not valid JSON")
+		}
+		tables = json.RawMessage(raw)
+	}
+
+	doc := map[string]any{
+		"comm": map[string]any{
+			"lines":   commLines,
+			"samples": commSamples,
+		},
+		"telemetry": map[string]any{
+			"lines":   teleLines,
+			"samples": teleSamples,
+		},
+		"scaling_tables": tables,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		log.Fatal(err)
+	}
+}

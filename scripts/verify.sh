@@ -9,4 +9,8 @@ set -eux
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/mpi/... ./internal/mci/... ./internal/core/...
+go test -race ./internal/mpi/... ./internal/mci/... ./internal/core/... ./internal/telemetry/...
+
+# Zero-cost-when-disabled guard: instrumentation on a nil recorder must
+# allocate nothing and stay within a few ns/op (see telemetry/overhead_test.go).
+go test -run TestDisabledPathNearZeroCost -count=1 ./internal/telemetry
