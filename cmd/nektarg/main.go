@@ -9,6 +9,11 @@
 //
 //	go run ./cmd/nektarg [-patches N] [-exchanges N] [-particles N]
 //	                     [-platelets N] [-order P] [-seed S]
+//	                     [-monitor-addr :9090] [-log-level info] [-log-format text]
+//
+// With -monitor-addr the run serves live Prometheus metrics, a JSON health
+// verdict and pprof endpoints while it executes (see internal/monitor);
+// solver watchdogs then guard fields against NaN/Inf and trip /healthz.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"math"
 	"math/rand"
 	"os"
@@ -27,6 +33,7 @@ import (
 	"nektarg/internal/core"
 	"nektarg/internal/dpd"
 	"nektarg/internal/geometry"
+	"nektarg/internal/monitor"
 	"nektarg/internal/nektar1d"
 	"nektarg/internal/nektar3d"
 	"nektarg/internal/platelet"
@@ -36,35 +43,55 @@ import (
 
 // telemetryOpts bundles the observability flags shared by both run paths.
 type telemetryOpts struct {
-	enabled  bool   // -telemetry: print per-stage/traffic/gauge tables
-	traceOut string // -trace-out: Chrome trace_event JSON path
-	jsonOut  string // -telemetry-out: aggregate summary JSON path
+	enabled     bool   // -telemetry: print per-stage/traffic/gauge tables
+	traceOut    string // -trace-out: Chrome trace_event JSON path
+	jsonOut     string // -telemetry-out: aggregate summary JSON path
+	monitorAddr string // -monitor-addr: live HTTP metrics/health endpoint
+	logger      *slog.Logger
 }
 
 // active reports whether any telemetry output was requested; asking for a
-// trace or summary file implies enabling the recorders.
+// trace, a summary file or a live monitor implies enabling the recorders.
 func (o telemetryOpts) active() bool {
-	return o.enabled || o.traceOut != "" || o.jsonOut != ""
+	return o.enabled || o.traceOut != "" || o.jsonOut != "" || o.monitorAddr != ""
 }
 
 // setup installs recorders on the metasolver (and the optional 1D tree) when
-// telemetry is requested; returns nil otherwise, which leaves every Rec field
-// nil and instrumentation on its no-op fast path.
-func (o telemetryOpts) setup(meta *core.Metasolver, tree *nektar1d.Network) *telemetry.Registry {
+// telemetry is requested; returns nils otherwise, which leaves every Rec and
+// Watch field nil and instrumentation on its no-op fast path. When
+// -monitor-addr is set it additionally attaches solver watchdogs and starts
+// the live HTTP monitor (the returned server is non-nil and must be closed).
+func (o telemetryOpts) setup(meta *core.Metasolver, tree *nektar1d.Network) (*telemetry.Registry, *monitor.Monitor, *monitor.Server) {
+	meta.SetLogger(o.logger)
 	if !o.active() {
-		return nil
+		return nil, nil, nil
 	}
 	reg := telemetry.NewRegistry()
 	meta.EnableTelemetry(reg)
 	if tree != nil {
 		tree.Rec = reg.NewRecorder("1d:tree")
 	}
-	return reg
+	if o.monitorAddr == "" {
+		return reg, nil, nil
+	}
+	mon := monitor.New(reg, monitor.Options{})
+	mon.Health().SetLogger(o.logger)
+	meta.EnableMonitoring(mon.Health())
+	if tree != nil {
+		tree.Watch = mon.Health().Watch("1d:tree")
+	}
+	srv, err := mon.Serve(o.monitorAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	o.logger.Info("live monitor serving",
+		"url", srv.URL(), "metrics", srv.URL()+"/metrics", "healthz", srv.URL()+"/healthz")
+	return reg, mon, srv
 }
 
 // report prints the aggregate tables and writes the requested trace/summary
 // files.
-func (o telemetryOpts) report(reg *telemetry.Registry, meta *core.Metasolver) {
+func (o telemetryOpts) report(reg *telemetry.Registry, mon *monitor.Monitor, meta *core.Metasolver) {
 	if reg == nil {
 		return
 	}
@@ -79,7 +106,16 @@ func (o telemetryOpts) report(reg *telemetry.Registry, meta *core.Metasolver) {
 			fmt.Println("--- telemetry: traffic ---")
 			fmt.Print(cs.FormatTrafficTable())
 		}
+		imb := monitor.AnalyzeImbalance(snapshotRecorders(recs))
+		if len(imb) > 0 {
+			fmt.Println("--- telemetry: load imbalance ---")
+			fmt.Print(monitor.FormatImbalanceTable(imb))
+		}
 		fmt.Printf("coupling overhead: %.2f%% of step time\n", 100*meta.CouplingOverhead())
+	}
+	if mon != nil && !mon.Health().Healthy() {
+		v := mon.Health().Verdict()
+		o.logger.Error("run finished unhealthy", "trips", v.Trips, "events", v.Events)
 	}
 	if o.traceOut != "" {
 		writeFileWith(o.traceOut, func(w io.Writer) error {
@@ -93,6 +129,18 @@ func (o telemetryOpts) report(reg *telemetry.Registry, meta *core.Metasolver) {
 		})
 		fmt.Printf("wrote telemetry summary to %s\n", o.jsonOut)
 	}
+}
+
+// snapshotRecorders captures every recorder's aggregates for the imbalance
+// analyzer.
+func snapshotRecorders(recs []*telemetry.Recorder) []*telemetry.Snapshot {
+	snaps := make([]*telemetry.Snapshot, 0, len(recs))
+	for _, r := range recs {
+		if s := r.Snapshot(); s != nil {
+			snaps = append(snaps, s)
+		}
+	}
+	return snaps
 }
 
 // writeFileWith creates path and streams fn into it, fataling on error.
@@ -151,10 +199,18 @@ func main() {
 	teleFlag := flag.Bool("telemetry", false, "record per-rank stage timers/gauges and print the aggregate tables")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON (implies telemetry recording)")
 	teleOut := flag.String("telemetry-out", "", "write the aggregate telemetry summary JSON (implies telemetry recording)")
+	monitorAddr := flag.String("monitor-addr", "", "serve live /metrics, /healthz and /debug/pprof on this address (e.g. :9090; implies telemetry recording and solver watchdogs)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug|info|warn|error")
+	logFormat := flag.String("log-format", "text", "structured log format: text|json")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
-	topts := telemetryOpts{enabled: *teleFlag, traceOut: *traceOut, jsonOut: *teleOut}
+	logger, err := monitor.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topts := telemetryOpts{enabled: *teleFlag, traceOut: *traceOut, jsonOut: *teleOut,
+		monitorAddr: *monitorAddr, logger: logger}
 	stopCPU := startCPUProfile(*cpuProfile)
 	defer stopCPU()
 	defer writeMemProfile(*memProfile)
@@ -250,36 +306,43 @@ func main() {
 		}
 	}
 
-	reg := topts.setup(meta, tree)
+	reg, mon, srv := topts.setup(meta, tree)
+	if srv != nil {
+		defer srv.Close() //nolint:errcheck // exiting anyway
+	}
 
 	dof := 0
 	for _, p := range patches {
 		dof += 4 * p.Solver.G.NumNodes()
 	}
-	fmt.Printf("nektarg: %d patches (P=%d, %d DOF total), DPD region with %d particles\n",
-		*nPatches, *order, dof, len(sys.Particles))
-	fmt.Printf("time progression: dt_NS = %d dt_DPD, exchange every %d NS steps\n\n",
-		meta.DPDStepsPerNS, meta.NSStepsPerExchange)
+	logger.Info("simulation configured",
+		"patches", *nPatches, "order", *order, "dof", dof,
+		"particles", len(sys.Particles), "platelets", *nPlatelets,
+		"dpd_steps_per_ns", meta.DPDStepsPerNS, "ns_steps_per_exchange", meta.NSStepsPerExchange)
 
 	for e := 0; e < *exchanges; e++ {
 		if err := meta.Advance(1); err != nil {
-			log.Fatal(err)
+			logger.Error("exchange failed", "exchange", e+1, "err", err)
+			os.Exit(1)
 		}
 		rms, n := meta.InterfaceContinuity(region, 2.5)
-		line := fmt.Sprintf("exchange %2d  t_NS=%.2f  iface RMS=%.4f (%d probes)  maxDiv=%.2e",
-			e+1, patches[0].Solver.Time, rms, n, maxDivergence(patches))
+		attrs := []any{
+			"exchange", e + 1, "t_ns", patches[0].Solver.Time,
+			"iface_rms", rms, "probes", n, "max_div", maxDivergence(patches),
+		}
 		if clot != nil {
 			passive, triggered, adhered := clot.Counts(sys)
-			line += fmt.Sprintf("  clot=%d (+%d triggered, %d passive)", adhered, triggered, passive)
+			attrs = append(attrs, "clot", adhered, "triggered", triggered, "passive", passive)
 		}
 		if to1d != nil {
 			q, p1d, err := to1d.Exchange(5e-5)
 			if err != nil {
-				log.Fatal(err)
+				logger.Error("1D exchange failed", "exchange", e+1, "err", err)
+				os.Exit(1)
 			}
-			line += fmt.Sprintf("  1D: Q=%.3f P=%.1f", q, p1d)
+			attrs = append(attrs, "q_1d", q, "p_1d", p1d)
 		}
-		fmt.Println(line)
+		logger.Info("exchange complete", attrs...)
 	}
 
 	if *vtkDir != "" {
@@ -316,11 +379,12 @@ func main() {
 		}
 	}
 
-	topts.report(reg, meta)
+	topts.report(reg, mon, meta)
 }
 
 // runFromConfig builds and drives a simulation from a declarative JSON file.
 func runFromConfig(path string, exchanges int, vtkDir string, topts telemetryOpts) {
+	logger := topts.logger
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -334,23 +398,27 @@ func runFromConfig(path string, exchanges int, vtkDir string, topts telemetryOpt
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("nektarg: config %s -> %d patches, %d couplings, %d regions\n",
-		path, len(b.Meta.Patches), len(b.Meta.Couplings), len(b.Meta.Atomistic))
-	reg := topts.setup(b.Meta, nil)
+	logger.Info("config loaded", "path", path,
+		"patches", len(b.Meta.Patches), "couplings", len(b.Meta.Couplings), "regions", len(b.Meta.Atomistic))
+	reg, mon, srv := topts.setup(b.Meta, nil)
+	if srv != nil {
+		defer srv.Close() //nolint:errcheck // exiting anyway
+	}
 	for e := 0; e < exchanges; e++ {
 		if err := b.Meta.Advance(1); err != nil {
-			log.Fatal(err)
+			logger.Error("exchange failed", "exchange", e+1, "err", err)
+			os.Exit(1)
 		}
-		line := fmt.Sprintf("exchange %2d  maxDiv=%.2e", e+1, maxDivergence(b.Meta.Patches))
+		attrs := []any{"exchange", e + 1, "max_div", maxDivergence(b.Meta.Patches)}
 		for name, region := range b.Regions {
 			rms, n := b.Meta.InterfaceContinuity(region, 2.5)
-			line += fmt.Sprintf("  %s: iface RMS=%.4f (%d)", name, rms, n)
+			attrs = append(attrs, name+"_iface_rms", rms, name+"_probes", n)
 			if m := b.Platelets[name]; m != nil {
 				_, _, adhered := m.Counts(region.Sys)
-				line += fmt.Sprintf(" clot=%d", adhered)
+				attrs = append(attrs, name+"_clot", adhered)
 			}
 		}
-		fmt.Println(line)
+		logger.Info("exchange complete", attrs...)
 	}
 	if vtkDir != "" {
 		if err := os.MkdirAll(vtkDir, 0o755); err != nil {
@@ -364,7 +432,7 @@ func runFromConfig(path string, exchanges int, vtkDir string, topts telemetryOpt
 		}
 		fmt.Printf("wrote VTK scene to %s/\n", vtkDir)
 	}
-	topts.report(reg, b.Meta)
+	topts.report(reg, mon, b.Meta)
 }
 
 // maxDivergence returns the worst incompressibility violation over patches.

@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"nektarg/internal/monitor"
 	"nektarg/internal/perfmodel"
 	"nektarg/internal/telemetry"
 )
@@ -27,9 +28,17 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the tables as JSON instead of text")
 	teleFlag := flag.Bool("telemetry", false, "time each table computation and print the stage table")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace of the table computations")
+	monitorAddr := flag.String("monitor-addr", "", "serve live /metrics, /healthz and /debug/pprof on this address while computing (implies telemetry recording)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug|info|warn|error")
+	logFormat := flag.String("log-format", "text", "structured log format: text|json")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
+
+	logger, err := monitor.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -58,14 +67,25 @@ func main() {
 
 	var rec *telemetry.Recorder
 	var reg *telemetry.Registry
-	if *teleFlag || *traceOut != "" {
+	if *teleFlag || *traceOut != "" || *monitorAddr != "" {
 		reg = telemetry.NewRegistry()
 		rec = reg.NewRecorder("scaling")
+	}
+	if *monitorAddr != "" {
+		mon := monitor.New(reg, monitor.Options{})
+		mon.Health().SetLogger(logger)
+		srv, err := mon.Serve(*monitorAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close() //nolint:errcheck // exiting anyway
+		logger.Info("live monitor serving", "url", srv.URL(), "metrics", srv.URL()+"/metrics")
 	}
 
 	build := func(n int) *perfmodel.Table {
 		sp := rec.Begin(fmt.Sprintf("scaling.table%d", n))
 		defer sp.End()
+		logger.Debug("computing table", "table", n)
 		switch n {
 		case 2:
 			return perfmodel.Table2()

@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	"sync"
 
 	"nektarg/internal/dpd"
 	"nektarg/internal/geometry"
+	"nektarg/internal/monitor"
 	"nektarg/internal/nektar3d"
 	"nektarg/internal/telemetry"
 )
@@ -134,6 +136,13 @@ type Metasolver struct {
 	// rec is the metasolver's own telemetry recorder (track "metasolver");
 	// nil until EnableTelemetry is called. See telemetry.go in this package.
 	rec *telemetry.Recorder
+
+	// watch is the metasolver's own watchdog bundle (track "metasolver");
+	// nil until EnableMonitoring is called. See monitor.go in this package.
+	watch *monitor.Watchdogs
+
+	// log is the optional structured logger (SetLogger); nil = quiet.
+	log *slog.Logger
 }
 
 // NewMetasolver applies the paper's default time-progression ratios.
@@ -227,6 +236,8 @@ func (m *Metasolver) Advance(n int) error {
 		step := m.rec.Begin("meta.step")
 		if err := m.ExchangeInterfaceConditions(); err != nil {
 			step.End()
+			m.watch.Event(monitor.SevCritical, "exchange",
+				fmt.Sprintf("interface exchange %d failed: %v", m.Exchanges+1, err), float64(m.Exchanges))
 			return err
 		}
 		// Continuum patches advance concurrently: "the solution is computed
@@ -254,8 +265,20 @@ func (m *Metasolver) Advance(n int) error {
 		step.End()
 		for i, err := range errs {
 			if err != nil {
+				if m.log != nil {
+					m.log.Error("patch step failed", "patch", m.Patches[i].Name, "err", err.Error())
+				}
 				return fmt.Errorf("core: patch %q: %w", m.Patches[i].Name, err)
 			}
+		}
+		if m.log != nil {
+			var t float64
+			if len(m.Patches) > 0 {
+				t = m.Patches[0].Solver.Time
+			}
+			m.log.Debug("exchange period complete",
+				"exchange", m.Exchanges, "t_ns", t,
+				"patches", len(m.Patches), "regions", len(m.Atomistic))
 		}
 	}
 	return nil

@@ -1,0 +1,40 @@
+package core
+
+// Live-monitoring wiring for the metasolver: one watchdog bundle per track,
+// mirroring the telemetry recorder layout (see telemetry.go in this package).
+// The monitor's Health hands out nil bundles when monitoring is disabled, so
+// every probe in the solvers stays on its nil-receiver no-op path.
+
+import (
+	"log/slog"
+
+	"nektarg/internal/monitor"
+)
+
+// EnableMonitoring attaches solver watchdogs for every patch and atomistic
+// region to the given health state: NaN/Inf field guards and CG
+// stagnation/divergence detection on each nektar3d patch, particle-count
+// drift and state guards on each DPD region. Call it after all patches and
+// regions are registered (alongside EnableTelemetry) and before Advance. A
+// nil health disables monitoring (all bundles nil).
+func (m *Metasolver) EnableMonitoring(h *monitor.Health) {
+	m.watch = h.Watch("metasolver")
+	for _, p := range m.Patches {
+		p.Solver.Watch = h.Watch("patch:" + p.Name)
+	}
+	for _, a := range m.Atomistic {
+		a.Sys.Watch = h.Watch("dpd:" + a.Name)
+	}
+}
+
+// SetLogger installs a structured logger on the metasolver; Advance then
+// emits leveled, track-tagged progress records (exchange count, solver time,
+// coupling outcome) that join with the telemetry and health timelines. Nil
+// disables logging.
+func (m *Metasolver) SetLogger(l *slog.Logger) {
+	if l == nil {
+		m.log = nil
+		return
+	}
+	m.log = l.With("track", "metasolver")
+}

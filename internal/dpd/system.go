@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"nektarg/internal/geometry"
+	"nektarg/internal/monitor"
 	"nektarg/internal/telemetry"
 )
 
@@ -67,6 +68,12 @@ type System struct {
 	// Rec is the optional per-rank telemetry recorder; nil (the default)
 	// disables instrumentation at nil-receiver no-op cost.
 	Rec *telemetry.Recorder
+
+	// Watch is the optional solver watchdog bundle: VVStep feeds it the
+	// particle count (open-boundary drift detection) and scans particle
+	// state for NaN/Inf, producing structured health events instead of
+	// silently corrupting the ensemble. Nil disables all probes.
+	Watch *monitor.Watchdogs
 
 	nextID int64
 	rng    *rand.Rand
@@ -416,6 +423,27 @@ func (s *System) VVStep() {
 	s.Rec.Gauge("dpd.particles", float64(len(s.Particles)))
 	s.Rec.Gauge("dpd.inserted", float64(s.Inserted-ins0))
 	s.Rec.Gauge("dpd.deleted", float64(s.Deleted-del0))
+
+	if s.Watch != nil {
+		s.Watch.ObserveParticles(len(s.Particles))
+		s.guardParticles()
+	}
+}
+
+// guardParticles scans particle positions and velocities for NaN/Inf,
+// reporting the first corrupted particle as a critical nan-guard event
+// (latched: a wedged ensemble trips once, not once per step). Only called
+// when the watchdog bundle is attached.
+func (s *System) guardParticles() {
+	for i := range s.Particles {
+		p := &s.Particles[i]
+		for _, v := range [...]float64{p.Pos.X, p.Pos.Y, p.Pos.Z, p.Vel.X, p.Vel.Y, p.Vel.Z} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				s.Watch.GuardValue("dpd.step", "particle", v, i) //nolint:errcheck // event recorded; VVStep has no error path
+				return
+			}
+		}
+	}
 }
 
 // Run advances n steps.

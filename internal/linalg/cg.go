@@ -66,11 +66,78 @@ func (p *JacobiPrec) Precondition(z, r []float64) {
 // assert on. History holds the relative residual observed at the top of each
 // iteration (History[0] is the initial residual), so convergence curves can
 // be reproduced without re-running the solve.
+//
+// History length is bounded by HistoryBound: solves shorter than the bound
+// keep the complete curve; longer solves keep the initial residual, the
+// final residual, and a stride-decimated middle (the stride doubles each
+// time the buffer fills), so memory stays O(bound) per solve no matter how
+// many iterations ran — long telemetry-enabled runs don't grow linearly per
+// CG solve.
 type SolveStats struct {
 	Iterations int
 	Residual   float64 // final ||b - A x|| / ||b||
 	Converged  bool
-	History    []float64 // relative residual per iteration, starting at iteration 0
+	History    []float64 // decimated relative-residual curve; see HistoryBound
+}
+
+// DefaultHistoryBound is the default cap on len(SolveStats.History).
+const DefaultHistoryBound = 64
+
+// HistoryBound caps SolveStats.History (see SolveStats). Configure it before
+// solving (it is read once per CG call, not safe to change concurrently with
+// running solves); values < 2 disable the cap and keep the full curve.
+var HistoryBound = DefaultHistoryBound
+
+// histAcc streams residuals into a bounded History: always keeps the first
+// sample, decimates the middle with a doubling stride when the buffer fills,
+// and lets seal force the final residual into the last slot.
+type histAcc struct {
+	bound  int
+	stride int
+	n      int // iterations observed so far
+}
+
+// push records the residual at the top of iteration n.
+func (h *histAcc) push(s *SolveStats, v float64) {
+	defer func() { h.n++ }()
+	if h.bound < 2 {
+		s.History = append(s.History, v)
+		return
+	}
+	if h.n%h.stride != 0 {
+		return
+	}
+	if len(s.History) >= h.bound {
+		// Decimate: keep History[0] and every other of the rest, then
+		// double the sampling stride for future iterations.
+		kept := s.History[:1]
+		for i := 2; i < len(s.History); i += 2 {
+			kept = append(kept, s.History[i])
+		}
+		s.History = kept
+		h.stride *= 2
+		if h.n%h.stride != 0 {
+			return
+		}
+	}
+	s.History = append(s.History, v)
+}
+
+// seal guarantees the final residual occupies the last History slot without
+// exceeding the bound.
+func (h *histAcc) seal(s *SolveStats, v float64) {
+	if len(s.History) == 0 {
+		s.History = append(s.History, v)
+		return
+	}
+	if s.History[len(s.History)-1] == v {
+		return
+	}
+	if h.bound >= 2 && len(s.History) >= h.bound {
+		s.History[len(s.History)-1] = v
+		return
+	}
+	s.History = append(s.History, v)
 }
 
 // CGResult is the former name of SolveStats, kept as an alias for callers
@@ -115,12 +182,14 @@ func CG(a Operator, x, b []float64, prec Preconditioner, tol float64, maxIter in
 	rz := simd.Dot(r, z)
 
 	res := SolveStats{}
+	hist := histAcc{bound: HistoryBound, stride: 1}
 	for k := 0; k < maxIter; k++ {
 		rnorm := math.Sqrt(simd.Dot(r, r))
 		res.Residual = rnorm / bnorm
-		res.History = append(res.History, res.Residual)
+		hist.push(&res, res.Residual)
 		if res.Residual < tol {
 			res.Converged = true
+			hist.seal(&res, res.Residual)
 			return res, nil
 		}
 		a.Apply(ap, p)
@@ -142,7 +211,7 @@ func CG(a Operator, x, b []float64, prec Preconditioner, tol float64, maxIter in
 	}
 	rnorm := math.Sqrt(simd.Dot(r, r))
 	res.Residual = rnorm / bnorm
-	res.History = append(res.History, res.Residual)
+	hist.seal(&res, res.Residual)
 	res.Converged = res.Residual < tol
 	return res, nil
 }

@@ -1,0 +1,132 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+// laplace1D builds the 1D Dirichlet Laplacian as a CSR matrix — an SPD
+// operator whose CG solve takes ~n iterations, ideal for exercising long
+// residual histories.
+func laplace1D(n int) *CSR {
+	b := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 2)
+		if i > 0 {
+			b.Add(i, i-1, -1)
+		}
+		if i+1 < n {
+			b.Add(i, i+1, -1)
+		}
+	}
+	return b.ToCSR()
+}
+
+func solveLaplace(t *testing.T, n, maxIter int, tol float64) SolveStats {
+	t.Helper()
+	a := CSROperator{M: laplace1D(n)}
+	x := make([]float64, n)
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	st, err := CG(a, x, rhs, nil, tol, maxIter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestHistoryBoundPinned pins the satellite contract: History never exceeds
+// the configured bound, always keeps the initial residual first and the
+// final residual last, and short solves keep the complete curve.
+func TestHistoryBoundPinned(t *testing.T) {
+	old := HistoryBound
+	defer func() { HistoryBound = old }()
+
+	// Long solve (hundreds of iterations) under a small bound.
+	HistoryBound = 16
+	st := solveLaplace(t, 400, 1000, 1e-10)
+	if st.Iterations < 100 {
+		t.Fatalf("expected a long solve, got %d iterations", st.Iterations)
+	}
+	if len(st.History) > 16 {
+		t.Fatalf("history length %d exceeds bound 16", len(st.History))
+	}
+	if len(st.History) < 8 {
+		t.Fatalf("history length %d suspiciously short for bound 16", len(st.History))
+	}
+	// First entry is the initial relative residual (x0 = 0 ⇒ exactly 1).
+	if st.History[0] != 1 {
+		t.Fatalf("History[0] = %g, want the initial residual 1", st.History[0])
+	}
+	// Last entry is the final residual.
+	if got := st.History[len(st.History)-1]; got != st.Residual {
+		t.Fatalf("History[last] = %g, want final residual %g", got, st.Residual)
+	}
+	// The decimated middle is still a (weakly) decreasing convergence curve
+	// for this SPD system once past the initial plateau — at minimum it must
+	// contain finite values between first and last.
+	for i, v := range st.History {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Fatalf("History[%d] = %g not a valid residual", i, v)
+		}
+	}
+
+	// A different bound is respected too (configurability).
+	HistoryBound = 32
+	st = solveLaplace(t, 400, 1000, 1e-10)
+	if len(st.History) > 32 {
+		t.Fatalf("history length %d exceeds bound 32", len(st.History))
+	}
+
+	// Short solves keep the complete curve: one sample per iteration plus
+	// the initial residual.
+	HistoryBound = 64
+	st = solveLaplace(t, 16, 1000, 1e-12)
+	if st.Iterations+1 > 64 {
+		t.Fatalf("short solve unexpectedly long: %d iterations", st.Iterations)
+	}
+	if len(st.History) != st.Iterations+1 {
+		t.Fatalf("short solve history %d, want iterations+1 = %d", len(st.History), st.Iterations+1)
+	}
+
+	// Bound < 2 disables the cap entirely.
+	HistoryBound = 0
+	st = solveLaplace(t, 400, 1000, 1e-10)
+	if len(st.History) != st.Iterations+1 {
+		t.Fatalf("uncapped history %d, want iterations+1 = %d", len(st.History), st.Iterations+1)
+	}
+}
+
+// TestHistoryBoundMemory pins the memory contract: a thousands-of-iterations
+// solve (large ill-conditioned 1D Laplacian, κ ~ n²) cannot grow History
+// past the default bound — the regression the satellite task targets, where
+// long telemetry-enabled runs used to retain O(iterations) floats per solve.
+func TestHistoryBoundMemory(t *testing.T) {
+	old := HistoryBound
+	defer func() { HistoryBound = old }()
+	HistoryBound = DefaultHistoryBound
+
+	n := 3000
+	a := CSROperator{M: laplace1D(n)}
+	x := make([]float64, n)
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = math.Sin(float64(i))
+	}
+	st, err := CG(a, x, rhs, nil, 1e-12, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations < 1000 {
+		t.Fatalf("expected a thousands-of-iterations solve, got %d", st.Iterations)
+	}
+	if len(st.History) > DefaultHistoryBound {
+		t.Fatalf("history length %d exceeds DefaultHistoryBound %d after %d iterations",
+			len(st.History), DefaultHistoryBound, st.Iterations)
+	}
+	if got := st.History[len(st.History)-1]; got != st.Residual {
+		t.Fatalf("History[last] = %g, want final residual %g", got, st.Residual)
+	}
+}

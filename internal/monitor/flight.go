@@ -1,0 +1,161 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"nektarg/internal/telemetry"
+)
+
+// DefaultFlightSpans is how many trailing span records per track a flight
+// dump carries by default.
+const DefaultFlightSpans = 256
+
+// DefaultFlightLimit bounds how many dumps one run may write: the first trip
+// is the interesting one; a cascade of secondary trips must not flood the
+// disk with near-identical dumps.
+const DefaultFlightLimit = 3
+
+// FlightTrack is one track's black-box excerpt: the last spans from the
+// telemetry ring plus the full gauge and stage aggregates at dump time.
+type FlightTrack struct {
+	Track        string                          `json:"track"`
+	Spans        []telemetry.SpanRecord          `json:"spans"`
+	DroppedSpans int64                           `json:"dropped_spans"`
+	Stages       map[string]telemetry.StageStats `json:"stages"`
+	Gauges       map[string]telemetry.GaugeStats `json:"gauges"`
+}
+
+// FlightDump is the on-disk flight-*.json document: why the recorder fired,
+// the health timeline, and every track's recent activity — enough to
+// diagnose a dead run without re-running it.
+type FlightDump struct {
+	Time      time.Time        `json:"time"`
+	Reason    string           `json:"reason"`
+	Trip      *Event           `json:"trip,omitempty"`
+	Verdict   Verdict          `json:"verdict"`
+	Events    []Event          `json:"events"`
+	Tracks    []FlightTrack    `json:"tracks"`
+	Imbalance []StageImbalance `json:"imbalance,omitempty"`
+}
+
+// FlightRecorder dumps the observability black box on watchdog trips and
+// rank panics. Safe for concurrent use; a nil recorder ignores every call.
+type FlightRecorder struct {
+	mu       sync.Mutex
+	dir      string
+	maxSpans int
+	limit    int
+	dumps    []string
+	source   func() []*telemetry.Recorder
+	health   *Health
+	now      func() time.Time // test seam
+}
+
+// NewFlightRecorder builds a recorder writing into dir (created on demand),
+// reading tracks from source and the event timeline from health.
+func NewFlightRecorder(dir string, source func() []*telemetry.Recorder, health *Health) *FlightRecorder {
+	if dir == "" {
+		dir = "."
+	}
+	return &FlightRecorder{
+		dir: dir, maxSpans: DefaultFlightSpans, limit: DefaultFlightLimit,
+		source: source, health: health, now: time.Now,
+	}
+}
+
+// SetMaxSpans overrides how many trailing spans per track a dump keeps.
+func (f *FlightRecorder) SetMaxSpans(n int) {
+	if f == nil || n < 1 {
+		return
+	}
+	f.mu.Lock()
+	f.maxSpans = n
+	f.mu.Unlock()
+}
+
+// Dumps returns the paths written so far.
+func (f *FlightRecorder) Dumps() []string {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.dumps...)
+}
+
+// Dump writes one flight-*.json capturing every track's recent events, gauge
+// values and the health history. trip may be nil (manual dump, rank panic).
+// Returns the written path; once the per-run dump limit is reached it returns
+// "" with no error.
+func (f *FlightRecorder) Dump(reason string, trip *Event) (string, error) {
+	if f == nil {
+		return "", nil
+	}
+	f.mu.Lock()
+	if len(f.dumps) >= f.limit {
+		f.mu.Unlock()
+		return "", nil
+	}
+	dir, maxSpans := f.dir, f.maxSpans
+	ts := f.now()
+	f.mu.Unlock()
+
+	var recs []*telemetry.Recorder
+	if f.source != nil {
+		recs = f.source()
+	}
+	d := &FlightDump{
+		Time: ts, Reason: reason, Trip: trip,
+		Verdict: f.health.Verdict(), Events: f.health.Events(),
+	}
+	snaps := make([]*telemetry.Snapshot, 0, len(recs))
+	for _, r := range recs {
+		s := r.Snapshot()
+		if s == nil {
+			continue
+		}
+		snaps = append(snaps, s)
+		spans := r.Spans()
+		if len(spans) > maxSpans {
+			spans = spans[len(spans)-maxSpans:]
+		}
+		d.Tracks = append(d.Tracks, FlightTrack{
+			Track: s.Track, Spans: spans, DroppedSpans: r.DroppedSpans(),
+			Stages: s.Stages, Gauges: s.Gauges,
+		})
+	}
+	d.Imbalance = AnalyzeImbalance(snaps)
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("monitor: flight dir: %w", err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("flight-%s.json", ts.UTC().Format("20060102T150405.000000000")))
+	tmp := path + ".tmp"
+	file, err := os.Create(tmp)
+	if err != nil {
+		return "", fmt.Errorf("monitor: flight dump: %w", err)
+	}
+	enc := json.NewEncoder(file)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		file.Close()
+		os.Remove(tmp)
+		return "", fmt.Errorf("monitor: flight dump: %w", err)
+	}
+	if err := file.Close(); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("monitor: flight dump: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return "", fmt.Errorf("monitor: flight dump: %w", err)
+	}
+	f.mu.Lock()
+	f.dumps = append(f.dumps, path)
+	f.mu.Unlock()
+	return path, nil
+}

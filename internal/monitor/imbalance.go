@@ -1,0 +1,136 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nektarg/internal/telemetry"
+)
+
+// StageImbalance is the load-balance diagnosis for one stage across tracks:
+// the paper's per-stage min/mean/max table sharpened into a verdict — which
+// rank is the straggler, how far from balanced the stage is, and how much of
+// the run's communication critical path (hop clock) the stage owns.
+type StageImbalance struct {
+	Stage     string  `json:"stage"`
+	Tracks    int     `json:"tracks"`
+	Count     int64   `json:"count"`
+	MinS      float64 `json:"min_track_s"`
+	MeanS     float64 `json:"mean_track_s"`
+	MaxS      float64 `json:"max_track_s"`
+	Ratio     float64 `json:"imbalance"` // max/mean per-track total; 1 = perfectly balanced
+	Straggler string  `json:"straggler"` // track with the largest total
+	// StragglerShare is the straggler's fraction of the stage's summed time:
+	// 1/Tracks when balanced, →1 when one rank serializes the stage.
+	StragglerShare float64 `json:"straggler_share"`
+	Hops           int64   `json:"hops"`
+	// CriticalShare is the stage's share of the hop-clock advance summed over
+	// all stages — which stages own the communication critical path. Nested
+	// spans are both charged, so shares are comparable within one nesting
+	// level rather than summing to exactly 1 across all stages.
+	CriticalShare float64 `json:"critical_share"`
+}
+
+// AnalyzeImbalance computes per-stage imbalance diagnoses from per-track
+// snapshots. Results are sorted by stage name (deterministic for golden
+// tests); FormatImbalanceTable re-sorts by severity for human eyes.
+func AnalyzeImbalance(snaps []*telemetry.Snapshot) []StageImbalance {
+	type acc struct {
+		tracks    int
+		count     int64
+		min, max  float64
+		sum       float64
+		straggler string
+		hops      int64
+	}
+	accs := map[string]*acc{}
+	var totalHops int64
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		for name, st := range s.Stages {
+			a := accs[name]
+			if a == nil {
+				a = &acc{min: st.Total, max: st.Total, straggler: s.Track}
+				accs[name] = a
+			} else {
+				if st.Total < a.min {
+					a.min = st.Total
+				}
+				if st.Total > a.max {
+					a.max = st.Total
+					a.straggler = s.Track
+				}
+			}
+			a.tracks++
+			a.count += st.Count
+			a.sum += st.Total
+			a.hops += st.Hops
+			totalHops += st.Hops
+		}
+	}
+	out := make([]StageImbalance, 0, len(accs))
+	for name, a := range accs {
+		mean := a.sum / float64(a.tracks)
+		ratio := 1.0
+		if mean > 0 {
+			ratio = a.max / mean
+		}
+		share := 0.0
+		if a.sum > 0 {
+			share = a.max / a.sum
+		}
+		crit := 0.0
+		if totalHops > 0 {
+			crit = float64(a.hops) / float64(totalHops)
+		}
+		out = append(out, StageImbalance{
+			Stage: name, Tracks: a.tracks, Count: a.count,
+			MinS: a.min, MeanS: mean, MaxS: a.max, Ratio: ratio,
+			Straggler: a.straggler, StragglerShare: share,
+			Hops: a.hops, CriticalShare: crit,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
+	return out
+}
+
+// FormatImbalanceTable renders the analyzer output as a fixed-width report,
+// worst imbalance first — the operator's "which rank is slow and where"
+// answer, also served at GET /imbalance.
+func FormatImbalanceTable(imb []StageImbalance) string {
+	rows := append([]StageImbalance(nil), imb...)
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Ratio != rows[j].Ratio {
+			return rows[i].Ratio > rows[j].Ratio
+		}
+		return rows[i].Stage < rows[j].Stage
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s %6s %10s %10s %10s %7s %-18s %6s %6s\n",
+		"stage", "tracks", "min/track", "mean/track", "max/track", "imbal", "straggler", "share", "crit%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-26s %6d %10s %10s %10s %6.2fx %-18s %5.0f%% %5.1f%%\n",
+			r.Stage, r.Tracks, fmtSeconds(r.MinS), fmtSeconds(r.MeanS), fmtSeconds(r.MaxS),
+			r.Ratio, r.Straggler, 100*r.StragglerShare, 100*r.CriticalShare)
+	}
+	return b.String()
+}
+
+// fmtSeconds renders seconds with an adaptive unit (mirrors telemetry.fmtDur).
+func fmtSeconds(s float64) string {
+	switch {
+	case s == 0:
+		return "0"
+	case s < 1e-6:
+		return fmt.Sprintf("%.0fns", s*1e9)
+	case s < 1e-3:
+		return fmt.Sprintf("%.1fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", s)
+	}
+}

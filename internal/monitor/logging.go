@@ -1,0 +1,40 @@
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds a structured logger from the CLIs' -log-level and
+// -log-format flag values. level is one of debug|info|warn|error; format is
+// text|json. Log records carry whatever attrs the call sites attach (track,
+// exchange, watchdog, ...) so log lines are machine-joinable with the
+// telemetry and health timelines.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("monitor: unknown log level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("monitor: unknown log format %q (want text|json)", format)
+	}
+	return slog.New(h), nil
+}

@@ -1,0 +1,137 @@
+// Package monitor is the live half of the observability plane: where
+// internal/telemetry records what a run did (post-mortem spans, counters,
+// traces), monitor reports what a run is doing — scrapeable Prometheus
+// metrics, a health verdict, solver watchdogs, a load-imbalance analyzer and
+// a crash flight recorder.
+//
+// The paper's 131,072-core runs depended on exactly this kind of in-flight
+// attribution: which patch is the straggler, is the CG solve diverging, is
+// the DPD region leaking particles — answered while the metasolver runs, not
+// from a post-mortem trace. The layering is strict:
+//
+//	recorder  (telemetry.Recorder — single-owner, lock-light, per rank)
+//	   ↓ Snapshot()            — deep copy, safe to take mid-step
+//	snapshot  (telemetry.Snapshot — immutable aggregate)
+//	   ↓ exporter              — Prometheus text / imbalance table / flight JSON
+//	HTTP      (/metrics, /healthz, /imbalance, /flight, /debug/pprof)
+//
+// Watchdog contract: solvers own a *Watchdogs bundle (nil when monitoring is
+// off — every probe then costs one nil comparison, the same zero-cost bar as
+// telemetry, pinned by TestMonitorDisabledZeroCost). Probes latch per
+// watchdog and emit structured Events only on severity transitions; the
+// first critical event flips /healthz to 503 for the rest of the run and
+// fires the flight recorder.
+package monitor
+
+import (
+	"sync"
+	"time"
+
+	"nektarg/internal/telemetry"
+)
+
+// Options configures a Monitor.
+type Options struct {
+	// Namespace prefixes every Prometheus metric family (default "nektarg").
+	Namespace string
+	// FlightDir is where flight-*.json dumps land (default ".").
+	FlightDir string
+	// FlightSpans caps the trailing spans per track in a dump
+	// (default DefaultFlightSpans).
+	FlightSpans int
+}
+
+// Monitor bundles the health state, flight recorder and snapshot source
+// behind one HTTP surface. Create with New; all methods are safe for
+// concurrent use.
+type Monitor struct {
+	reg    *telemetry.Registry
+	health *Health
+	flight *FlightRecorder
+	ns     string
+	start  time.Time
+
+	mu    sync.Mutex
+	extra []func() []*telemetry.Recorder // additional recorder sources
+}
+
+// New builds a monitor over a telemetry registry. The registry supplies the
+// per-rank recorders whose snapshots feed /metrics, the imbalance analyzer
+// and the flight recorder; reg may be nil if sources are added later via
+// AddSource. The first critical health event automatically fires the flight
+// recorder.
+func New(reg *telemetry.Registry, opts Options) *Monitor {
+	m := &Monitor{reg: reg, health: NewHealth(), ns: opts.Namespace, start: time.Now()}
+	m.flight = NewFlightRecorder(opts.FlightDir, m.recorders, m.health)
+	if opts.FlightSpans > 0 {
+		m.flight.SetMaxSpans(opts.FlightSpans)
+	}
+	m.health.OnTrip(func(e Event) {
+		ev := e
+		m.flight.Dump("watchdog:"+e.Watchdog, &ev) //nolint:errcheck // best-effort black box
+	})
+	return m
+}
+
+// Health returns the monitor's health state (watchdog registry).
+func (m *Monitor) Health() *Health {
+	if m == nil {
+		return nil
+	}
+	return m.health
+}
+
+// Flight returns the monitor's flight recorder.
+func (m *Monitor) Flight() *FlightRecorder {
+	if m == nil {
+		return nil
+	}
+	return m.flight
+}
+
+// AddSource registers an extra recorder source (e.g. per-rank recorders that
+// live outside the registry). fn is called at scrape time.
+func (m *Monitor) AddSource(fn func() []*telemetry.Recorder) {
+	if m == nil || fn == nil {
+		return
+	}
+	m.mu.Lock()
+	m.extra = append(m.extra, fn)
+	m.mu.Unlock()
+}
+
+// recorders collects every known recorder (registry + extra sources).
+func (m *Monitor) recorders() []*telemetry.Recorder {
+	var recs []*telemetry.Recorder
+	if m.reg != nil {
+		recs = m.reg.Recorders()
+	}
+	m.mu.Lock()
+	extra := append([]func() []*telemetry.Recorder(nil), m.extra...)
+	m.mu.Unlock()
+	for _, fn := range extra {
+		recs = append(recs, fn()...)
+	}
+	return recs
+}
+
+// Snapshots captures every track's aggregates at this instant. Safe to call
+// while the solvers are mid-step: Recorder.Snapshot serializes against the
+// owning goroutine's writes.
+func (m *Monitor) Snapshots() []*telemetry.Snapshot {
+	if m == nil {
+		return nil
+	}
+	var snaps []*telemetry.Snapshot
+	for _, r := range m.recorders() {
+		if s := r.Snapshot(); s != nil {
+			snaps = append(snaps, s)
+		}
+	}
+	return snaps
+}
+
+// Imbalance runs the load-imbalance analyzer over the current snapshots.
+func (m *Monitor) Imbalance() []StageImbalance {
+	return AnalyzeImbalance(m.Snapshots())
+}

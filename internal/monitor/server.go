@@ -1,0 +1,111 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the monitor's HTTP surface:
+//
+//	GET  /            tiny plain-text index
+//	GET  /metrics     Prometheus text exposition (stage seconds, traffic
+//	                  bytes by level×op, solver gauges, per-stage imbalance)
+//	GET  /healthz     JSON verdict; 200 while healthy, 503 once a watchdog
+//	                  has tripped
+//	GET  /imbalance   FormatImbalanceTable report (text)
+//	POST /flight      trigger a manual flight dump; returns the path
+//	GET  /debug/pprof/*  live profiling (pprof index, profile, trace, ...)
+func (m *Monitor) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "nektarg monitor\n\nGET  /metrics\nGET  /healthz\nGET  /imbalance\nPOST /flight\nGET  /debug/pprof/\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snaps := m.Snapshots()
+		imb := AnalyzeImbalance(snaps)
+		if err := WriteMetrics(w, m.ns, snaps, imb, m.health); err != nil {
+			// Headers are gone; nothing recoverable — the scraper sees a
+			// truncated body and retries.
+			return
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		v := m.health.Verdict()
+		w.Header().Set("Content-Type", "application/json")
+		if !v.Healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/imbalance", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, FormatImbalanceTable(m.Imbalance()))
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST to trigger a flight dump", http.StatusMethodNotAllowed)
+			return
+		}
+		path, err := m.flight.Dump("manual", nil)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if path == "" {
+			http.Error(w, "flight dump limit reached for this run", http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, path)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running monitor HTTP endpoint.
+type Server struct {
+	Addr string // actual listen address (resolves ":0")
+	srv  *http.Server
+	ln   net.Listener
+	done chan error
+}
+
+// Serve starts the monitor's HTTP server on addr (e.g. ":9090", or ":0" for
+// an ephemeral port) and returns once the listener is bound; requests are
+// served on a background goroutine. Close the returned server to stop.
+func (m *Monitor) Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: m.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	s := &Server{Addr: ln.Addr().String(), srv: srv, ln: ln, done: make(chan error, 1)}
+	go func() { s.done <- srv.Serve(ln) }()
+	return s, nil
+}
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr }
+
+// Close shuts the server down and waits for the serve loop to exit.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}

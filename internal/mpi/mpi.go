@@ -151,8 +151,8 @@ func newCommState(size int, name string) *commState {
 type Comm struct {
 	state   *commState
 	rank    int
-	collSeq int // per-rank collective sequence number; all ranks advance in lockstep
-	clock   int // Lamport-style hop clock; see Hops
+	collSeq int                 // per-rank collective sequence number; all ranks advance in lockstep
+	clock   int                 // Lamport-style hop clock; see Hops
 	rec     *telemetry.Recorder // per-rank telemetry sink; nil = disabled (see telemetry.go)
 }
 
@@ -270,6 +270,16 @@ func (c *Comm) RecvFrom(src, tag int) (any, int) {
 // leave peers blocked; Run is intended for tests and in-process simulations
 // where that aborts the whole program anyway.
 func Run(size int, body func(world *Comm)) error {
+	return RunHooked(size, body, nil)
+}
+
+// RunHooked is Run with an observability hook: onPanic, when non-nil, is
+// invoked once per panicking rank (from that rank's goroutine, before Run
+// aggregates the failures) with the rank number and the recovered value. The
+// live monitor registers its flight recorder here so a rank crash dumps the
+// black box — every rank's recent telemetry events and watchdog history —
+// while the other ranks' recorders are still intact.
+func RunHooked(size int, body func(world *Comm), onPanic func(rank int, recovered any)) error {
 	if size < 1 {
 		return fmt.Errorf("mpi: Run needs size >= 1, got %d", size)
 	}
@@ -283,6 +293,9 @@ func Run(size int, body func(world *Comm)) error {
 			defer func() {
 				if p := recover(); p != nil {
 					rankErrs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+					if onPanic != nil {
+						onPanic(rank, p)
+					}
 				}
 			}()
 			body(&Comm{state: state, rank: rank})

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"nektarg/internal/linalg"
+	"nektarg/internal/monitor"
 	"nektarg/internal/telemetry"
 )
 
@@ -64,6 +65,12 @@ type Network struct {
 	// Rec is the optional per-rank telemetry recorder; nil (the default)
 	// disables the 1d.* spans at nil-receiver no-op cost.
 	Rec *telemetry.Recorder
+
+	// Watch is the optional solver watchdog bundle: Step feeds the network's
+	// worst CFL number to the cfl-watch (warn near the stability limit,
+	// critical past it) and guards the (A, U) state against NaN/Inf. Nil
+	// disables all probes.
+	Watch *monitor.Watchdogs
 }
 
 // AddSegment registers a segment.
@@ -77,11 +84,18 @@ func (n *Network) AddSegment(s *Segment) *Segment {
 func (n *Network) Step(dt float64) error {
 	sp := n.Rec.Begin("1d.step")
 	defer sp.End()
+	var worstCFL float64
 	for _, s := range n.Segments {
-		if cfl := s.MaxCFL(dt); cfl > 1 {
+		cfl := s.MaxCFL(dt)
+		if cfl > worstCFL {
+			worstCFL = cfl
+		}
+		if cfl > 1 {
+			n.Watch.ObserveCFL("1d.step", cfl, 1)
 			return fmt.Errorf("nektar1d: CFL %0.2f > 1 on segment %q", cfl, s.Name)
 		}
 	}
+	n.Watch.ObserveCFL("1d.step", worstCFL, 1)
 	// Interior update into fresh buffers.
 	newA := make(map[*Segment][]float64, len(n.Segments))
 	newU := make(map[*Segment][]float64, len(n.Segments))
@@ -131,6 +145,18 @@ func (n *Network) Step(dt float64) error {
 	for _, s := range n.Segments {
 		copy(s.A, newA[s])
 		copy(s.U, newU[s])
+	}
+	// NaN/Inf guard over the updated (A, U) state: a tripped guard aborts
+	// the step with a structured health event instead of advancing garbage.
+	if n.Watch != nil {
+		for _, s := range n.Segments {
+			if err := n.Watch.GuardField("1d.step", s.Name+".A", s.A); err != nil {
+				return err
+			}
+			if err := n.Watch.GuardField("1d.step", s.Name+".U", s.U); err != nil {
+				return err
+			}
+		}
 	}
 	n.Time += dt
 	n.Steps++

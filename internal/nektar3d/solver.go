@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nektarg/internal/linalg"
+	"nektarg/internal/monitor"
 	"nektarg/internal/telemetry"
 )
 
@@ -50,6 +51,14 @@ type Solver struct {
 	// Step emits ns.* spans for each stage of the splitting scheme and
 	// gauges for the inner CG iteration counts and residuals.
 	Rec *telemetry.Recorder
+
+	// Watch is the optional solver watchdog bundle (monitor package). When
+	// set, every step feeds the CG outcomes to the stagnation/divergence
+	// watchdog and guards the velocity/pressure fields against NaN/Inf —
+	// a tripped guard aborts the step with an error instead of letting
+	// corruption propagate silently. Nil (the default) keeps every probe at
+	// nil-receiver no-op cost.
+	Watch *monitor.Watchdogs
 
 	mask []bool
 	bcU  []float64 // scratch Dirichlet value fields
@@ -165,6 +174,14 @@ func (s *Solver) Step() error {
 		order = 1 // bootstrap the history with one first-order step
 	}
 
+	// Pre-step guard: corruption arriving from outside the step (coupling
+	// exchanges, injected state) is caught here, before 4000 CG iterations
+	// chew on NaNs; the post-step guard below catches corruption the step
+	// itself produced.
+	if err := s.guardFields(); err != nil {
+		return err
+	}
+
 	// 1. Explicit step: û = Σ α_q u^{n-q} + dt Σ β_q (f - N)^{n-q};
 	// order 1: α = (1), β = (1); order 2: α = (2, -1/2), β = (2, -1).
 	adv := s.Rec.Begin("ns.advection")
@@ -207,6 +224,7 @@ func (s *Solver) Step() error {
 	}
 	s.Rec.Gauge("ns.pressure.iters", float64(pst.Iterations))
 	s.Rec.Gauge("ns.pressure.residual", pst.Residual)
+	s.Watch.ObserveSolve("ns.pressure", pst, s.MaxIter)
 	s.Pr = p
 
 	// 3. Projection: û̂ = û - dt ∇p.
@@ -253,9 +271,33 @@ func (s *Solver) Step() error {
 	helm.End()
 	s.Rec.Gauge("ns.helmholtz.iters", float64(hIters))
 	s.Rec.Gauge("ns.helmholtz.residual", hst.Residual)
+	s.Watch.ObserveSolve("ns.helmholtz", hst, s.MaxIter)
+
+	// NaN/Inf field guard: corrupted state trips the health watchdog and
+	// aborts the step instead of silently advancing garbage.
+	if err := s.guardFields(); err != nil {
+		return err
+	}
 
 	s.Steps++
 	s.Time = tNew
+	return nil
+}
+
+// guardFields scans the primary fields for non-finite values when the
+// watchdog bundle is attached (no-op otherwise).
+func (s *Solver) guardFields() error {
+	if s.Watch == nil {
+		return nil
+	}
+	for _, f := range [...]struct {
+		name string
+		data []float64
+	}{{"u", s.U}, {"v", s.V}, {"w", s.W}, {"p", s.Pr}} {
+		if err := s.Watch.GuardField("ns.step", f.name, f.data); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -290,15 +290,20 @@ func (g *Registry) Recorders() []*Recorder {
 // Epoch returns the registry's shared time origin.
 func (g *Registry) Epoch() time.Time { return g.epoch }
 
-// Recorder is one track's telemetry sink. It is single-owner: exactly one
-// goroutine may record into it at a time (per-rank usage). A nil *Recorder is
-// the disabled sink — every method is a no-op costing one nil check.
+// Recorder is one track's telemetry sink. It is single-owner for writes:
+// exactly one goroutine may record into it at a time (per-rank usage). Reads
+// (Snapshot, Spans) are safe from any goroutine — a light mutex serializes
+// them against the owner's writes so the live monitor can scrape a running
+// rank without racing it. A nil *Recorder is the disabled sink — every method
+// is a no-op costing one nil check, taken before the lock, so the disabled
+// path stays lock-free (pinned by TestDisabledPathNearZeroCost).
 type Recorder struct {
 	track    string
 	tid      int
 	epoch    time.Time
 	hopClock func() int
 
+	mu      sync.Mutex   // guards everything below (writer vs live scrape)
 	spans   []SpanRecord // ring once len == cap
 	head    int          // next overwrite position when full
 	dropped int64
@@ -365,9 +370,20 @@ func (sp Span) End() {
 	if r == nil {
 		return
 	}
+	r.endSpan(sp)
+}
+
+// endSpan is End's enabled path, kept out of End itself so the nil check
+// stays within the inlining budget: the disabled path must compile to an
+// inlined nil comparison even with the scrape lock below (the race detector
+// charges a full function-entry instrumentation to any out-of-line call,
+// which alone would blow the TestDisabledPathNearZeroCost budget).
+func (r *Recorder) endSpan(sp Span) {
 	now := time.Now()
 	dur := now.Sub(sp.start)
 	h1 := r.hops()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.push(SpanRecord{
 		Name:  sp.name,
 		Start: sp.start.Sub(r.epoch).Nanoseconds(),
@@ -402,6 +418,8 @@ func (r *Recorder) RecordSpan(name string, start, dur time.Duration, hops0, hops
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.push(SpanRecord{Name: name, Start: start.Nanoseconds(), Dur: dur.Nanoseconds(), Hops0: hops0, Hops1: hops1})
 	st := r.stage[name]
 	if st == nil {
@@ -440,6 +458,8 @@ func (r *Recorder) Spans() []SpanRecord {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make([]SpanRecord, 0, len(r.spans))
 	out = append(out, r.spans[r.head:]...)
 	out = append(out, r.spans[:r.head]...)
@@ -452,6 +472,8 @@ func (r *Recorder) DroppedSpans() int64 {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.dropped
 }
 
@@ -462,15 +484,22 @@ func (r *Recorder) CountMessage(level Level, op Op, bytes int64) {
 	if r == nil {
 		return
 	}
+	r.countMessage(level, op, bytes)
+}
+
+// countMessage is the enabled path (see endSpan for why it is split out).
+func (r *Recorder) countMessage(level Level, op Op, bytes int64) {
 	if level >= NumLevels {
 		level = LevelOther
 	}
 	if op >= NumOps {
 		op = OpP2P
 	}
+	r.mu.Lock()
 	t := &r.traffic[level][op]
 	t.Msgs++
 	t.Bytes += bytes
+	r.mu.Unlock()
 }
 
 // Gauge records one sample of a named scalar series.
@@ -478,12 +507,19 @@ func (r *Recorder) Gauge(name string, v float64) {
 	if r == nil {
 		return
 	}
+	r.recordGauge(name, v)
+}
+
+// recordGauge is the enabled path (see endSpan for why it is split out).
+func (r *Recorder) recordGauge(name string, v float64) {
+	r.mu.Lock()
 	g := r.gauge[name]
 	if g == nil {
 		g = &GaugeStats{}
 		r.gauge[name] = g
 	}
 	g.add(v)
+	r.mu.Unlock()
 }
 
 // ResetCounters zeroes traffic, stage and gauge aggregates and clears the
@@ -492,6 +528,8 @@ func (r *Recorder) ResetCounters() {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.traffic = TrafficMatrix{}
 	r.stage = map[string]*StageStats{}
 	r.gauge = map[string]*GaugeStats{}
@@ -506,6 +544,8 @@ func (r *Recorder) Snapshot() *Snapshot {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s := &Snapshot{
 		Track:   r.track,
 		Traffic: r.traffic,
@@ -593,6 +633,8 @@ func (r *Recorder) String() string {
 	if r == nil {
 		return "telemetry: disabled"
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	t := r.traffic.Total()
 	return fmt.Sprintf("telemetry[%s]: %d stages, %d msgs / %d bytes, %d spans buffered (%d dropped)",
 		r.track, len(r.stage), t.Msgs, t.Bytes, len(r.spans), r.dropped)

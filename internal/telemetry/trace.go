@@ -84,9 +84,9 @@ func WriteChromeTrace(w io.Writer, recs []*Recorder) error {
 // Summary is the machine-readable telemetry.json artifact: the cluster
 // aggregate plus per-track snapshots, stamped with a wall-clock time.
 type Summary struct {
-	Written string       `json:"written"`
+	Written string        `json:"written"`
 	Cluster *ClusterStats `json:"cluster"`
-	Tracks  []*Snapshot  `json:"tracks"`
+	Tracks  []*Snapshot   `json:"tracks"`
 }
 
 // WriteSummary aggregates the recorders and writes the indented JSON summary.

@@ -23,12 +23,16 @@ echo "== telemetry overhead benchmarks (disabled vs enabled path) =="
 tele=$(go test -run '^$' -bench 'Benchmark' -benchmem ./internal/telemetry 2>&1)
 printf '%s\n' "$tele"
 
+echo "== monitor benchmarks (imbalance analyzer, exposition, disabled probes) =="
+mon=$(go test -run '^$' -bench 'Benchmark' -benchmem ./internal/monitor 2>&1)
+printf '%s\n' "$mon"
+
 echo "== scaling tables (cmd/scaling -json) =="
 tables=$(go run ./cmd/scaling -json)
 
 # Assemble the bundle without extra tooling: the bench transcripts are
 # embedded as JSON string arrays (one element per line) via go run so we
 # need no jq/python in the container.
-COMM="$comm" TELE="$tele" TABLES="$tables" go run ./scripts/benchjson >"$out"
+COMM="$comm" TELE="$tele" MONITOR="$mon" TABLES="$tables" go run ./scripts/benchjson >"$out"
 
 echo "wrote $out"

@@ -1,7 +1,7 @@
 // Benchjson assembles BENCH_telemetry.json for scripts/bench.sh: it reads
-// the comm and telemetry benchmark transcripts plus the scaling tables from
-// the COMM, TELE and TABLES environment variables and emits one indented
-// JSON document on stdout. Bench transcripts are parsed into structured
+// the comm, telemetry and monitor benchmark transcripts plus the scaling
+// tables from the COMM, TELE, MONITOR and TABLES environment variables and
+// emits one indented JSON document on stdout. Bench transcripts are parsed into structured
 // {name, value, unit} samples (standard `go test -bench` line format) with
 // the raw lines preserved alongside.
 package main
@@ -62,6 +62,7 @@ func main() {
 
 	commLines, commSamples := parseBench(os.Getenv("COMM"))
 	teleLines, teleSamples := parseBench(os.Getenv("TELE"))
+	monLines, monSamples := parseBench(os.Getenv("MONITOR"))
 
 	var tables json.RawMessage
 	if raw := strings.TrimSpace(os.Getenv("TABLES")); raw != "" {
@@ -79,6 +80,10 @@ func main() {
 		"telemetry": map[string]any{
 			"lines":   teleLines,
 			"samples": teleSamples,
+		},
+		"monitor": map[string]any{
+			"lines":   monLines,
+			"samples": monSamples,
 		},
 		"scaling_tables": tables,
 	}

@@ -9,8 +9,10 @@ set -eux
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/mpi/... ./internal/mci/... ./internal/core/... ./internal/telemetry/...
+go test -race ./internal/mpi/... ./internal/mci/... ./internal/core/... ./internal/telemetry/... ./internal/monitor/...
 
-# Zero-cost-when-disabled guard: instrumentation on a nil recorder must
-# allocate nothing and stay within a few ns/op (see telemetry/overhead_test.go).
+# Zero-cost-when-disabled guards: instrumentation on a nil recorder and
+# watchdog probes on a nil bundle must allocate nothing and stay within a few
+# ns/op (see telemetry/overhead_test.go and monitor/monitor_test.go).
 go test -run TestDisabledPathNearZeroCost -count=1 ./internal/telemetry
+go test -run TestMonitorDisabledZeroCost -count=1 ./internal/monitor
