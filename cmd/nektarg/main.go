@@ -10,13 +10,23 @@
 //	go run ./cmd/nektarg [-patches N] [-exchanges N] [-particles N]
 //	                     [-platelets N] [-order P] [-seed S]
 //	                     [-monitor-addr :9090] [-log-level info] [-log-format text]
+//	                     [-checkpoint-dir DIR] [-checkpoint-every N] [-resume]
+//	                     [-max-restarts N] [-kill-at N]
 //
 // With -monitor-addr the run serves live Prometheus metrics, a JSON health
 // verdict and pprof endpoints while it executes (see internal/monitor);
 // solver watchdogs then guard fields against NaN/Inf and trip /healthz.
+//
+// With -checkpoint-dir the run writes atomic, checksummed checkpoints every
+// -checkpoint-every exchanges and executes inside the recover-and-resume
+// envelope: a solver blow-up, watchdog trip or injected fault dumps the
+// flight recorder, reloads the last good checkpoint and continues. -resume
+// restarts a previous run from its newest checkpoint; -kill-at injects a
+// one-shot panic after the given exchange to demonstrate the loop.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -29,6 +39,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"nektarg/internal/checkpoint"
 	"nektarg/internal/config"
 	"nektarg/internal/core"
 	"nektarg/internal/dpd"
@@ -131,6 +142,74 @@ func (o telemetryOpts) report(reg *telemetry.Registry, mon *monitor.Monitor, met
 	}
 }
 
+// restartOpts bundles the checkpoint/restart flags shared by both run paths.
+type restartOpts struct {
+	dir         string // -checkpoint-dir: managed store directory ("" = no checkpointing)
+	every       int    // -checkpoint-every: period in exchanges
+	resume      bool   // -resume: reload the newest checkpoint before running
+	maxRestarts int    // -max-restarts: per-position restart budget
+	killAt      int    // -kill-at: one-shot injected panic after this exchange (0 = off)
+	logger      *slog.Logger
+}
+
+// driveExchanges advances the metasolver to the target exchange count,
+// running onExchange (diagnostics, 1D coupling, fault demo) after each one.
+// Without -checkpoint-dir it is a plain loop where any failure is fatal; with
+// it, the run executes under core.RunWithRecovery — periodic atomic
+// checkpoints, flight dumps on faults, reload-and-continue — optionally
+// resuming from the newest checkpoint first.
+func driveExchanges(meta *core.Metasolver, networks map[string]*nektar1d.Network,
+	exchanges int, onExchange func(int) error,
+	ropts restartOpts, reg *telemetry.Registry, mon *monitor.Monitor) error {
+	if ropts.dir == "" {
+		for meta.Exchanges < exchanges {
+			if err := meta.Advance(1); err != nil {
+				return err
+			}
+			if err := onExchange(meta.Exchanges); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	ck := &core.Checkpointer{
+		Meta:     meta,
+		Networks: networks,
+		Store:    &checkpoint.Store{Dir: ropts.dir},
+		Every:    ropts.every,
+		Log:      ropts.logger,
+	}
+	if ropts.resume {
+		switch _, err := ck.Resume(); {
+		case err == nil:
+			// Resume() already logged the path and exchange.
+		case errors.Is(err, os.ErrNotExist):
+			ropts.logger.Info("no checkpoint to resume from; starting fresh", "dir", ropts.dir)
+		default:
+			return err
+		}
+	}
+	var health *monitor.Health
+	if mon != nil {
+		health = mon.Health()
+	}
+	// The flight recorder always rides along with checkpointing: without
+	// -telemetry it still captures the failure reason, verdict and health
+	// timeline; with it, every track's recent spans and gauges too.
+	var source func() []*telemetry.Recorder
+	if reg != nil {
+		source = reg.Recorders
+	}
+	flight := monitor.NewFlightRecorder(filepath.Join(ropts.dir, "flight"), source, health)
+	return core.RunWithRecovery(ck, exchanges, core.RecoveryOptions{
+		MaxRestarts: ropts.maxRestarts,
+		Flight:      flight,
+		Health:      health,
+		OnExchange:  onExchange,
+		Log:         ropts.logger,
+	})
+}
+
 // snapshotRecorders captures every recorder's aggregates for the imbalance
 // analyzer.
 func snapshotRecorders(recs []*telemetry.Recorder) []*telemetry.Snapshot {
@@ -204,18 +283,28 @@ func main() {
 	logFormat := flag.String("log-format", "text", "structured log format: text|json")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	ckptDir := flag.String("checkpoint-dir", "", "managed checkpoint store directory (enables the recover-and-resume envelope)")
+	ckptEvery := flag.Int("checkpoint-every", 1, "checkpoint period in completed exchanges (with -checkpoint-dir; <= 0 writes only the baseline)")
+	resume := flag.Bool("resume", false, "resume from the newest checkpoint in -checkpoint-dir before running")
+	maxRestarts := flag.Int("max-restarts", core.DefaultMaxRestarts, "per-position restart budget of the recovery loop")
+	killAt := flag.Int("kill-at", 0, "inject a one-shot panic after this exchange (fault-injection demo; survivable with -checkpoint-dir)")
 	flag.Parse()
 	logger, err := monitor.NewLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *resume && *ckptDir == "" {
+		log.Fatal("nektarg: -resume requires -checkpoint-dir")
+	}
 	topts := telemetryOpts{enabled: *teleFlag, traceOut: *traceOut, jsonOut: *teleOut,
 		monitorAddr: *monitorAddr, logger: logger}
+	ropts := restartOpts{dir: *ckptDir, every: *ckptEvery, resume: *resume,
+		maxRestarts: *maxRestarts, killAt: *killAt, logger: logger}
 	stopCPU := startCPUProfile(*cpuProfile)
 	defer stopCPU()
 	defer writeMemProfile(*memProfile)
 	if *configPath != "" {
-		runFromConfig(*configPath, *exchanges, *vtkDir, topts)
+		runFromConfig(*configPath, *exchanges, *vtkDir, topts, ropts)
 		return
 	}
 	if *nPatches < 1 {
@@ -320,14 +409,15 @@ func main() {
 		"particles", len(sys.Particles), "platelets", *nPlatelets,
 		"dpd_steps_per_ns", meta.DPDStepsPerNS, "ns_steps_per_exchange", meta.NSStepsPerExchange)
 
-	for e := 0; e < *exchanges; e++ {
-		if err := meta.Advance(1); err != nil {
-			logger.Error("exchange failed", "exchange", e+1, "err", err)
-			os.Exit(1)
-		}
+	networks := map[string]*nektar1d.Network{}
+	if tree != nil {
+		networks["tree"] = tree
+	}
+	killed := false
+	onExchange := func(e int) error {
 		rms, n := meta.InterfaceContinuity(region, 2.5)
 		attrs := []any{
-			"exchange", e + 1, "t_ns", patches[0].Solver.Time,
+			"exchange", e, "t_ns", patches[0].Solver.Time,
 			"iface_rms", rms, "probes", n, "max_div", maxDivergence(patches),
 		}
 		if clot != nil {
@@ -337,12 +427,20 @@ func main() {
 		if to1d != nil {
 			q, p1d, err := to1d.Exchange(5e-5)
 			if err != nil {
-				logger.Error("1D exchange failed", "exchange", e+1, "err", err)
-				os.Exit(1)
+				return fmt.Errorf("1D exchange %d: %w", e, err)
 			}
 			attrs = append(attrs, "q_1d", q, "p_1d", p1d)
 		}
 		logger.Info("exchange complete", attrs...)
+		if ropts.killAt > 0 && e == ropts.killAt && !killed {
+			killed = true
+			panic(fmt.Sprintf("injected fault after exchange %d (-kill-at)", e))
+		}
+		return nil
+	}
+	if err := driveExchanges(meta, networks, *exchanges, onExchange, ropts, reg, mon); err != nil {
+		logger.Error("run failed", "err", err)
+		os.Exit(1)
 	}
 
 	if *vtkDir != "" {
@@ -383,7 +481,7 @@ func main() {
 }
 
 // runFromConfig builds and drives a simulation from a declarative JSON file.
-func runFromConfig(path string, exchanges int, vtkDir string, topts telemetryOpts) {
+func runFromConfig(path string, exchanges int, vtkDir string, topts telemetryOpts, ropts restartOpts) {
 	logger := topts.logger
 	f, err := os.Open(path)
 	if err != nil {
@@ -404,12 +502,9 @@ func runFromConfig(path string, exchanges int, vtkDir string, topts telemetryOpt
 	if srv != nil {
 		defer srv.Close() //nolint:errcheck // exiting anyway
 	}
-	for e := 0; e < exchanges; e++ {
-		if err := b.Meta.Advance(1); err != nil {
-			logger.Error("exchange failed", "exchange", e+1, "err", err)
-			os.Exit(1)
-		}
-		attrs := []any{"exchange", e + 1, "max_div", maxDivergence(b.Meta.Patches)}
+	killed := false
+	onExchange := func(e int) error {
+		attrs := []any{"exchange", e, "max_div", maxDivergence(b.Meta.Patches)}
 		for name, region := range b.Regions {
 			rms, n := b.Meta.InterfaceContinuity(region, 2.5)
 			attrs = append(attrs, name+"_iface_rms", rms, name+"_probes", n)
@@ -419,6 +514,15 @@ func runFromConfig(path string, exchanges int, vtkDir string, topts telemetryOpt
 			}
 		}
 		logger.Info("exchange complete", attrs...)
+		if ropts.killAt > 0 && e == ropts.killAt && !killed {
+			killed = true
+			panic(fmt.Sprintf("injected fault after exchange %d (-kill-at)", e))
+		}
+		return nil
+	}
+	if err := driveExchanges(b.Meta, nil, exchanges, onExchange, ropts, reg, mon); err != nil {
+		logger.Error("run failed", "err", err)
+		os.Exit(1)
 	}
 	if vtkDir != "" {
 		if err := os.MkdirAll(vtkDir, 0o755); err != nil {

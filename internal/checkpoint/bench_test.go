@@ -1,0 +1,170 @@
+package checkpoint
+
+// Checkpoint I/O benchmarks for the fault-tolerance PR: how much does the
+// periodic write actually cost a production run, and how fast is the resume
+// path? The bundle below is sized like one rank's slice of a coupled run —
+// two spectral patches at ~20k dof each (fields + two levels of
+// time-integration history), a 20k-particle DPD region with RNG/face state,
+// and a small 1D peripheral tree — so ns/op here maps directly onto the
+// "checkpoint stall" a -checkpoint-every interval buys.
+//
+// BenchmarkCheckpointWrite measures the full durable path (gob encode +
+// CRC-32C envelope + tmp + fsync + rename) through Store.Write;
+// BenchmarkCheckpointLoad measures ReadFile (scan + checksum verify + gob
+// decode); the Encode/Decode pair isolates serialization from the
+// filesystem. Each reports checkpoint_bytes so BENCH_telemetry.json records
+// the size alongside the latency.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nektarg/internal/dpd"
+	"nektarg/internal/geometry"
+	"nektarg/internal/nektar1d"
+	"nektarg/internal/nektar3d"
+)
+
+// benchBundle synthesizes a representative coupled bundle without wiring
+// live solvers: the serializer only sees the state structs, so filled arrays
+// of the right shape exercise exactly the production encode/decode path.
+func benchBundle() *Coupled {
+	fill := func(n int, scale float64) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = scale * math.Sin(float64(i)*0.7)
+		}
+		return v
+	}
+	patch := func(seed float64) nektar3d.State {
+		const dof = 20 * 1024
+		return nektar3d.State{
+			Nex: 8, Ney: 4, Nez: 4, P: 6,
+			Lx: 2, Ly: 1, Lz: 1,
+			Nu: 0.04, Dt: 1e-3, Order: 2,
+			U: fill(dof, seed), V: fill(dof, seed*0.5), W: fill(dof, seed*0.25),
+			Pr:    fill(dof, seed*2),
+			UPrev: fill(dof, seed), VPrev: fill(dof, seed), WPrev: fill(dof, seed),
+			ExuPrev: fill(dof, seed), ExvPrev: fill(dof, seed), ExwPrev: fill(dof, seed),
+			Steps: 400, Time: 0.4,
+		}
+	}
+	region := func() dpd.State {
+		const n = 20 * 1024
+		parts := make([]dpd.Particle, n)
+		for i := range parts {
+			f := float64(i)
+			parts[i] = dpd.Particle{
+				Pos:     geometry.Vec3{X: math.Mod(f*0.37, 10), Y: math.Mod(f*0.11, 10), Z: math.Mod(f*0.23, 10)},
+				Vel:     geometry.Vec3{X: math.Sin(f), Y: math.Cos(f), Z: 0.1},
+				Species: i % 2,
+				ID:      int64(i),
+			}
+		}
+		rng := make([]byte, 20) // PCG marshals to a short opaque blob
+		binary.BigEndian.PutUint64(rng[4:], 0x9e3779b97f4a7c15)
+		p := dpd.DefaultParams(2)
+		p.Seed = 42
+		return dpd.State{
+			Params: p,
+			Lo:     geometry.Vec3{}, Hi: geometry.Vec3{X: 10, Y: 10, Z: 10},
+			Periodic:  [3]bool{false, true, true},
+			Particles: parts,
+			Step:      12000, Time: 120, NextID: n,
+			RNG: rng, FaceAcc: []float64{0.25, 0.75},
+			Inserted: 31415, Deleted: 27182,
+		}
+	}
+	network := func() nektar1d.NetworkState {
+		segs := make([]nektar1d.SegmentState, 7)
+		for i := range segs {
+			segs[i] = nektar1d.SegmentState{
+				Name: string(rune('a' + i)),
+				A:    fill(101, 1e-4), U: fill(101, 0.3),
+			}
+		}
+		return nektar1d.NetworkState{
+			Segments: segs,
+			OutletP:  fill(4, 9000),
+			Time:     0.4, Steps: 4000,
+		}
+	}
+
+	c := NewCoupled()
+	c.Exchanges = 40
+	c.Patches["arterial"] = patch(1.0)
+	c.Patches["aneurysm"] = patch(0.8)
+	c.Regions["omega"] = region()
+	c.Networks["tree"] = network()
+	return c
+}
+
+func BenchmarkCheckpointEncode(b *testing.B) {
+	c := benchBundle()
+	var buf bytes.Buffer
+	for b.Loop() {
+		buf.Reset()
+		if err := Save(&buf, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportMetric(float64(buf.Len()), "checkpoint_bytes")
+}
+
+func BenchmarkCheckpointDecode(b *testing.B) {
+	var buf bytes.Buffer
+	if err := Save(&buf, benchBundle()); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for b.Loop() {
+		if _, err := Load(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(raw)))
+	b.ReportMetric(float64(len(raw)), "checkpoint_bytes")
+}
+
+func BenchmarkCheckpointWrite(b *testing.B) {
+	c := benchBundle()
+	st := &Store{Dir: b.TempDir(), Keep: 2}
+	var path string
+	for b.Loop() {
+		p, err := st.Write(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		path = p
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(fi.Size())
+	b.ReportMetric(float64(fi.Size()), "checkpoint_bytes")
+}
+
+func BenchmarkCheckpointLoad(b *testing.B) {
+	dir := b.TempDir()
+	path := filepath.Join(dir, "bench.ckpt")
+	if err := WriteFile(path, benchBundle()); err != nil {
+		b.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for b.Loop() {
+		if _, err := ReadFile(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(fi.Size())
+	b.ReportMetric(float64(fi.Size()), "checkpoint_bytes")
+}

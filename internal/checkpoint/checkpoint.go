@@ -4,8 +4,13 @@
 // from t = 0 after every queue window). Behavioral hooks — boundary
 // condition closures, forcing, bonded models — are code and are re-attached
 // by the caller after loading; the physics state round-trips exactly, and a
-// restored closed DPD system continues bit-identically thanks to the
-// counter-based random forces.
+// restored DPD system continues bit-identically: pairwise random forces are
+// counter-based and the stream RNG position plus flux-face insertion
+// accumulators are part of dpd.State.
+//
+// Atomic, crash-safe persistence (tmp + fsync + rename, retention pruning,
+// last-good scanning) lives in store.go; the periodic write/resume driver is
+// core.Checkpointer.
 package checkpoint
 
 import (
@@ -14,13 +19,17 @@ import (
 	"io"
 
 	"nektarg/internal/dpd"
+	"nektarg/internal/nektar1d"
 	"nektarg/internal/nektar3d"
 )
 
 // Coupled bundles the state of one coupled simulation: any number of
-// continuum patches and atomistic regions plus bookkeeping.
+// continuum patches, atomistic regions and 1D peripheral networks plus
+// exchange bookkeeping.
 type Coupled struct {
-	// Version guards the on-disk format.
+	// Version guards the on-disk format. NewCoupled sets it to
+	// FormatVersion; Save rejects bundles whose version it does not know how
+	// to write (and never mutates the caller's bundle).
 	Version int
 	// Exchanges is the metasolver's completed exchange count.
 	Exchanges int
@@ -28,24 +37,46 @@ type Coupled struct {
 	Patches map[string]nektar3d.State
 	// Regions holds the DPD system states, keyed by region name.
 	Regions map[string]dpd.State
+	// Networks holds the NεκTαr-1D network states — per-segment (A, U)
+	// arrays and windkessel outlet pressures — keyed by network name.
+	// Introduced in format v2; nil in v1 bundles, whose resume silently
+	// reset the peripheral circulation to t = 0.
+	Networks map[string]nektar1d.NetworkState
 }
 
-// FormatVersion is the current checkpoint format.
-const FormatVersion = 1
+// Format versions. v1 predates Networks and the dpd RNG/face-accumulator
+// capture; Load still accepts it (the missing state restores to zero values
+// and the dpd RNG reseeds from Params.Seed). Save only writes the current
+// version.
+const (
+	// FormatV1 is the legacy format: no 1D networks, no RNG stream state.
+	FormatV1 = 1
+	// FormatVersion is the current checkpoint format.
+	FormatVersion = 2
+)
 
-// NewCoupled creates an empty bundle.
+// NewCoupled creates an empty bundle at the current format version.
 func NewCoupled() *Coupled {
 	return &Coupled{
-		Version: FormatVersion,
-		Patches: map[string]nektar3d.State{},
-		Regions: map[string]dpd.State{},
+		Version:  FormatVersion,
+		Patches:  map[string]nektar3d.State{},
+		Regions:  map[string]dpd.State{},
+		Networks: map[string]nektar1d.NetworkState{},
 	}
 }
 
-// Save writes the bundle as a gob stream.
+// Save writes the bundle as a gob stream. It is side-effect-free: the bundle
+// is not mutated, and a bundle whose Version is unset or unknown is a
+// validation error rather than something Save silently "fixes" (the old
+// behaviour stamped FormatVersion onto the caller's struct, so two Saves of
+// one bundle could disagree about what had been written).
 func Save(w io.Writer, c *Coupled) error {
-	if c.Version == 0 {
-		c.Version = FormatVersion
+	if c == nil {
+		return fmt.Errorf("checkpoint: encode: nil bundle")
+	}
+	if c.Version != FormatVersion {
+		return fmt.Errorf("checkpoint: encode: bundle version %d, can only write %d (NewCoupled sets it)",
+			c.Version, FormatVersion)
 	}
 	if err := gob.NewEncoder(w).Encode(c); err != nil {
 		return fmt.Errorf("checkpoint: encode: %w", err)
@@ -53,14 +84,30 @@ func Save(w io.Writer, c *Coupled) error {
 	return nil
 }
 
-// Load reads a bundle written by Save.
+// Load reads a bundle written by Save. It accepts the current format and the
+// legacy v1 format (whose bundles carry no Networks map and no dpd RNG
+// stream state); anything else — including a zero version, the signature of
+// a bundle that was never initialized — is an error. Maps absent from old
+// streams are materialized empty so callers can range without nil checks.
 func Load(r io.Reader) (*Coupled, error) {
 	var c Coupled
 	if err := gob.NewDecoder(r).Decode(&c); err != nil {
 		return nil, fmt.Errorf("checkpoint: decode: %w", err)
 	}
-	if c.Version != FormatVersion {
-		return nil, fmt.Errorf("checkpoint: format version %d, want %d", c.Version, FormatVersion)
+	switch c.Version {
+	case FormatVersion, FormatV1:
+	default:
+		return nil, fmt.Errorf("checkpoint: format version %d, want %d (or legacy %d)",
+			c.Version, FormatVersion, FormatV1)
+	}
+	if c.Patches == nil {
+		c.Patches = map[string]nektar3d.State{}
+	}
+	if c.Regions == nil {
+		c.Regions = map[string]dpd.State{}
+	}
+	if c.Networks == nil {
+		c.Networks = map[string]nektar1d.NetworkState{}
 	}
 	return &c, nil
 }

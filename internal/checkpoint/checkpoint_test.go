@@ -2,6 +2,8 @@ package checkpoint
 
 import (
 	"bytes"
+	"encoding/gob"
+	"io"
 	"math"
 	"testing"
 
@@ -135,14 +137,47 @@ func TestRestoreRejectsCorruptState(t *testing.T) {
 }
 
 func TestLoadRejectsWrongVersion(t *testing.T) {
+	// Save refuses to write unknown versions, so forge the stream directly.
 	var buf bytes.Buffer
 	c := NewCoupled()
 	c.Version = 99
-	if err := Save(&buf, c); err != nil {
+	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Load(&buf); err == nil {
 		t.Fatal("expected version error")
+	}
+}
+
+func TestSaveRejectsUnsetOrUnknownVersion(t *testing.T) {
+	for _, v := range []int{0, 3, 99, -1, FormatV1} {
+		var buf bytes.Buffer
+		c := NewCoupled()
+		c.Version = v
+		if err := Save(&buf, c); err == nil {
+			t.Fatalf("Save accepted version %d", v)
+		}
+		if c.Version != v {
+			t.Fatalf("Save mutated the bundle: version %d -> %d", v, c.Version)
+		}
+		if buf.Len() != 0 {
+			t.Fatalf("Save wrote %d bytes before failing version validation", buf.Len())
+		}
+	}
+	if err := Save(io.Discard, nil); err == nil {
+		t.Fatal("Save accepted a nil bundle")
+	}
+}
+
+func TestSaveIsSideEffectFree(t *testing.T) {
+	c := NewCoupled()
+	c.Exchanges = 7
+	var buf bytes.Buffer
+	if err := Save(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Version != FormatVersion || c.Exchanges != 7 {
+		t.Fatalf("Save mutated the bundle: %+v", c)
 	}
 }
 

@@ -1,0 +1,188 @@
+package core
+
+// Checkpoint capture/restore for the metasolver, plus the periodic-write
+// driver. The paper's headline run — 131,072 cores coupling NεκTαr-3D
+// patches, DPD regions and 1D peripheral networks for days — only exists as
+// a production workflow because it can resume from its last checkpoint after
+// a queue window or a rank failure. The split of responsibilities:
+//
+//   - internal/checkpoint owns the serialized format and the atomic,
+//     checksummed on-disk store;
+//   - CaptureCheckpoint/RestoreCheckpoint (here) map between the live,
+//     fully-wired metasolver and a checkpoint.Coupled bundle — restore is
+//     in-place, overlaying physics state onto hooks the caller rebuilt from
+//     code, so no closure ever needs to serialize;
+//   - Checkpointer drives periodic atomic writes and resume-from-latest;
+//   - RunWithRecovery (recovery.go) closes the loop under faults.
+
+import (
+	"fmt"
+	"log/slog"
+	"sort"
+
+	"nektarg/internal/checkpoint"
+	"nektarg/internal/nektar1d"
+)
+
+// CaptureCheckpoint snapshots the full coupled state — every continuum
+// patch, every atomistic region (including the DPD stream-RNG position and
+// flux-face insertion accumulators), the named 1D peripheral networks, and
+// the exchange count — into a version-stamped bundle ready for
+// checkpoint.Save or a Store write. networks may be nil.
+func (m *Metasolver) CaptureCheckpoint(networks map[string]*nektar1d.Network) *checkpoint.Coupled {
+	sp := m.rec.Begin("meta.checkpoint.capture")
+	defer sp.End()
+	c := checkpoint.NewCoupled()
+	c.Exchanges = m.Exchanges
+	for _, p := range m.Patches {
+		c.Patches[p.Name] = p.Solver.CaptureState()
+	}
+	for _, a := range m.Atomistic {
+		c.Regions[a.Name] = a.Sys.CaptureState()
+	}
+	for name, net := range networks {
+		c.Networks[name] = net.CaptureState()
+	}
+	return c
+}
+
+// RestoreCheckpoint overlays a loaded bundle onto this metasolver's live
+// wiring: patches, regions and networks are matched by name and must agree
+// exactly with the bundle (a missing or extra name is a configuration
+// mismatch, not something to skip silently). Legacy v1 bundles carry no
+// network state; registered networks then keep their current (t = 0) state
+// and a warning is logged if log is non-nil.
+func (m *Metasolver) RestoreCheckpoint(c *checkpoint.Coupled, networks map[string]*nektar1d.Network) error {
+	// Validate the name sets both ways before mutating anything.
+	patches := map[string]*ContinuumPatch{}
+	for _, p := range m.Patches {
+		patches[p.Name] = p
+	}
+	regions := map[string]*AtomisticRegion{}
+	for _, a := range m.Atomistic {
+		regions[a.Name] = a
+	}
+	if err := matchNames("patch", keysOf(c.Patches), keysOf(patches)); err != nil {
+		return err
+	}
+	if err := matchNames("region", keysOf(c.Regions), keysOf(regions)); err != nil {
+		return err
+	}
+	legacyNetworks := c.Version == checkpoint.FormatV1 && len(c.Networks) == 0
+	if !legacyNetworks {
+		if err := matchNames("network", keysOf(c.Networks), keysOf(networks)); err != nil {
+			return err
+		}
+	} else if len(networks) > 0 && m.log != nil {
+		m.log.Warn("v1 checkpoint carries no 1D network state; peripheral networks keep their current state",
+			"networks", len(networks))
+	}
+
+	for name, st := range c.Patches {
+		if err := patches[name].Solver.ApplyState(st); err != nil {
+			return fmt.Errorf("core: restoring patch %q: %w", name, err)
+		}
+	}
+	for name, st := range c.Regions {
+		if err := regions[name].Sys.ApplyState(st); err != nil {
+			return fmt.Errorf("core: restoring region %q: %w", name, err)
+		}
+	}
+	if !legacyNetworks {
+		for name, st := range c.Networks {
+			if err := networks[name].ApplyState(st); err != nil {
+				return fmt.Errorf("core: restoring network %q: %w", name, err)
+			}
+		}
+	}
+	m.Exchanges = c.Exchanges
+	return nil
+}
+
+// matchNames asserts two name sets are identical, reporting the first
+// difference deterministically.
+func matchNames(kind string, bundle, wired []string) error {
+	sort.Strings(bundle)
+	sort.Strings(wired)
+	if len(bundle) != len(wired) {
+		return fmt.Errorf("core: checkpoint has %d %s name(s) %v but the metasolver wires %d %v",
+			len(bundle), kind, bundle, len(wired), wired)
+	}
+	for i := range bundle {
+		if bundle[i] != wired[i] {
+			return fmt.Errorf("core: checkpoint %s %q does not match wired %s %q",
+				kind, bundle[i], kind, wired[i])
+		}
+	}
+	return nil
+}
+
+func keysOf[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Checkpointer drives periodic atomic checkpoints of one metasolver into a
+// checkpoint.Store, and resume-from-latest. It is the glue cmd/nektarg's
+// -checkpoint-every / -checkpoint-dir / -resume flags configure.
+type Checkpointer struct {
+	Meta *Metasolver
+	// Networks are the named 1D peripheral trees riding along in every
+	// bundle (nil when the scenario has none).
+	Networks map[string]*nektar1d.Network
+	// Store is the managed checkpoint directory.
+	Store *checkpoint.Store
+	// Every is the checkpoint period in completed exchanges; <= 0 disables
+	// periodic writes (Checkpoint can still be called manually).
+	Every int
+	// Log is the optional structured logger.
+	Log *slog.Logger
+}
+
+// Checkpoint captures and atomically persists the current state, returning
+// the written path.
+func (ck *Checkpointer) Checkpoint() (string, error) {
+	sp := ck.Meta.rec.Begin("meta.checkpoint")
+	defer sp.End()
+	c := ck.Meta.CaptureCheckpoint(ck.Networks)
+	path, err := ck.Store.Write(c)
+	if err != nil {
+		return "", err
+	}
+	if ck.Log != nil {
+		ck.Log.Info("checkpoint written", "path", path, "exchange", c.Exchanges)
+	}
+	return path, nil
+}
+
+// MaybeCheckpoint writes a checkpoint when the metasolver's exchange count
+// has reached a multiple of Every. Call it after each completed exchange.
+func (ck *Checkpointer) MaybeCheckpoint() error {
+	if ck.Every <= 0 || ck.Meta.Exchanges == 0 || ck.Meta.Exchanges%ck.Every != 0 {
+		return nil
+	}
+	_, err := ck.Checkpoint()
+	return err
+}
+
+// Resume loads the newest good checkpoint from the store and overlays it
+// onto the live wiring, returning the path it resumed from.
+func (ck *Checkpointer) Resume() (string, error) {
+	path, c, err := ck.Store.Latest()
+	if err != nil {
+		return "", err
+	}
+	if err := ck.Meta.RestoreCheckpoint(c, ck.Networks); err != nil {
+		return "", fmt.Errorf("core: resuming from %s: %w", path, err)
+	}
+	// The restored state predates whatever tripped the watchdogs; clear the
+	// latches so a recurrence after resume transitions (and is seen) again.
+	ck.Meta.RearmWatchdogs()
+	if ck.Log != nil {
+		ck.Log.Info("resumed from checkpoint", "path", path, "exchange", c.Exchanges)
+	}
+	return path, nil
+}

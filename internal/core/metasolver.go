@@ -249,6 +249,15 @@ func (m *Metasolver) Advance(n int) error {
 			wg.Add(1)
 			go func(i int, p *ContinuumPatch) {
 				defer wg.Done()
+				// A panicking patch (numerical blow-up, injected fault)
+				// must surface as this exchange's error, not kill the
+				// process: the recover-and-resume loop depends on Advance
+				// returning so it can reload the last good checkpoint.
+				defer func() {
+					if r := recover(); r != nil {
+						errs[i] = fmt.Errorf("core: patch %q panicked: %v", p.Name, r)
+					}
+				}()
 				errs[i] = p.Solver.Run(m.NSStepsPerExchange)
 			}(i, p)
 		}

@@ -27,6 +27,20 @@ func (m *Metasolver) EnableMonitoring(h *monitor.Health) {
 	}
 }
 
+// RearmWatchdogs clears the latched watchdog state of every solver bundle.
+// The checkpoint restore path calls this: the rolled-back state predates
+// whatever tripped, and a recurrence after resume must transition (and be
+// seen by the recovery loop) again. No-op when monitoring is disabled.
+func (m *Metasolver) RearmWatchdogs() {
+	m.watch.Rearm()
+	for _, p := range m.Patches {
+		p.Solver.Watch.Rearm()
+	}
+	for _, a := range m.Atomistic {
+		a.Sys.Watch.Rearm()
+	}
+}
+
 // SetLogger installs a structured logger on the metasolver; Advance then
 // emits leveled, track-tagged progress records (exchange count, solver time,
 // coupling outcome) that join with the telemetry and health timelines. Nil

@@ -1,0 +1,137 @@
+package core
+
+// The recover-and-resume loop: the fault-tolerance counterpart of
+// Metasolver.Advance. A multi-day coupled run dies for many reasons — a
+// solver blow-up caught by a watchdog, an injected or real rank death
+// surfacing as a panic, a transient exchange failure — and the production
+// answer is always the same sequence: flush the flight recorder (the black
+// box explaining *why*), reload the last good checkpoint, and continue. The
+// restart budget is per-position: successful forward progress refills it, a
+// fault that deterministically re-fires at the same exchange drains it and
+// aborts.
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+
+	"nektarg/internal/monitor"
+)
+
+// RecoveryOptions tunes RunWithRecovery.
+type RecoveryOptions struct {
+	// MaxRestarts bounds how many times the loop may restore without making
+	// new forward progress before giving up; <= 0 means DefaultMaxRestarts.
+	MaxRestarts int
+	// Flight, when non-nil, receives a dump before every restore attempt —
+	// the crashed run's telemetry black box.
+	Flight *monitor.FlightRecorder
+	// Health, when non-nil, turns new watchdog trips (critical events
+	// recorded during an exchange that otherwise returned nil — e.g. the
+	// DPD particle-drift guard, which has no error path) into recoveries.
+	Health *monitor.Health
+	// OnExchange runs after each successful exchange (diagnostics,
+	// progress printing). It executes inside the recovery envelope: a panic
+	// or error here triggers the same dump-restore-continue path.
+	OnExchange func(exchange int) error
+	// Log is the optional structured logger.
+	Log *slog.Logger
+}
+
+// DefaultMaxRestarts is the per-position restart budget.
+const DefaultMaxRestarts = 3
+
+// RunWithRecovery advances the metasolver to the target exchange count,
+// checkpointing through ck and surviving faults: any panic or error inside
+// an exchange (or a new watchdog trip during it) triggers a flight dump, a
+// reload of the last good checkpoint, and continuation. If the store holds
+// no checkpoint yet, a baseline is written first so even an exchange-1 fault
+// is recoverable. Returns the first unrecoverable error.
+func RunWithRecovery(ck *Checkpointer, exchanges int, opt RecoveryOptions) error {
+	maxRestarts := opt.MaxRestarts
+	if maxRestarts <= 0 {
+		maxRestarts = DefaultMaxRestarts
+	}
+	log := opt.Log
+	if log == nil {
+		log = ck.Log
+	}
+
+	// Baseline: never enter the loop without something to fall back to.
+	if _, _, err := ck.Store.Latest(); err != nil {
+		if _, werr := ck.Checkpoint(); werr != nil {
+			return fmt.Errorf("core: writing baseline checkpoint: %w", werr)
+		}
+	}
+
+	restarts := 0
+	highWater := ck.Meta.Exchanges
+	for ck.Meta.Exchanges < exchanges {
+		// Capture the attempted exchange number up front: a failed Advance
+		// may or may not have incremented the counter already.
+		attempt := ck.Meta.Exchanges + 1
+		err := runExchangeGuarded(ck.Meta, opt)
+		if err == nil {
+			if ck.Meta.Exchanges > highWater {
+				highWater = ck.Meta.Exchanges
+				restarts = 0 // forward progress refills the budget
+			}
+			if cerr := ck.MaybeCheckpoint(); cerr != nil {
+				// A failed write is not fatal to the physics, but it erodes
+				// the fault-tolerance contract; surface it loudly.
+				if log != nil {
+					log.Error("checkpoint write failed", "err", cerr.Error())
+				}
+			}
+			continue
+		}
+
+		// Black box first: dump every rank's recent telemetry while the
+		// wreckage is still in memory.
+		if path, derr := opt.Flight.Dump(fmt.Sprintf("auto-resume: %v", err), nil); derr == nil && path != "" && log != nil {
+			log.Info("flight dump written", "path", path)
+		}
+		if restarts >= maxRestarts {
+			return fmt.Errorf("core: exchange %d failed %d times, giving up: %w",
+				attempt, restarts+1, err)
+		}
+		restarts++
+		rpath, rerr := ck.Resume()
+		if rerr != nil {
+			return errors.Join(
+				fmt.Errorf("core: exchange %d failed and no checkpoint is recoverable: %w", attempt, err),
+				rerr)
+		}
+		if log != nil {
+			log.Warn("exchange failed; resumed from last good checkpoint",
+				"err", err.Error(), "checkpoint", rpath,
+				"exchange", ck.Meta.Exchanges, "restart", restarts, "budget", maxRestarts)
+		}
+	}
+	return nil
+}
+
+// runExchangeGuarded advances one exchange (plus the caller's diagnostics)
+// inside a recover envelope, converting panics to errors and new watchdog
+// trips to failures.
+func runExchangeGuarded(m *Metasolver, opt RecoveryOptions) (err error) {
+	attempt := m.Exchanges + 1 // Advance increments the counter mid-flight
+	tripsBefore := opt.Health.Trips()
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: exchange %d panicked: %v", attempt, r)
+		}
+	}()
+	if err := m.Advance(1); err != nil {
+		return err
+	}
+	if opt.OnExchange != nil {
+		if err := opt.OnExchange(m.Exchanges); err != nil {
+			return fmt.Errorf("core: exchange %d diagnostics: %w", m.Exchanges, err)
+		}
+	}
+	if t := opt.Health.Trips(); t > tripsBefore {
+		return fmt.Errorf("core: %d watchdog trip(s) during exchange %d", t-tripsBefore, m.Exchanges)
+	}
+	return nil
+}

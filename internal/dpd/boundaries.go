@@ -371,7 +371,11 @@ type FluxBC struct {
 	// controller in the face's buffer slab; 0 selects the default of 10.
 	ControlGain float64
 
-	acc float64 // fractional particle accumulator
+	// Acc is the fractional particle accumulator: the sub-unit remainder of
+	// the integrated one-sided influx. It is resumable state (captured into
+	// dpd.State.FaceAcc by CaptureState) — dropping it across a restart
+	// shifts every subsequent insertion time.
+	Acc float64
 }
 
 // gain returns the effective controller gain.
@@ -444,9 +448,9 @@ func (f *FluxBC) apply(s *System) {
 	w /= nSample
 	vres = vres.Scale(1.0 / nSample)
 
-	f.acc += f.Rho * oneSidedFlux(w, sd) * area * s.Dt
-	for f.acc >= 1 {
-		f.acc--
+	f.Acc += f.Rho * oneSidedFlux(w, sd) * area * s.Dt
+	for f.Acc >= 1 {
+		f.Acc--
 		pos := f.randomFacePoint(s)
 		// Normal component: positive part of N(w, sd) via rejection.
 		vn := 0.0

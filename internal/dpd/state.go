@@ -10,7 +10,9 @@ import (
 // run. Behavioral hooks (walls, bonded forces, external forcing, flux-face
 // profiles) are code, not data — the caller re-attaches them after Restore.
 // Because pairwise random forces are counter-based (seed, step, particle
-// ids), a restored closed system continues bit-identically.
+// ids) and the stream RNG position plus the flux-face fractional-insertion
+// accumulators are captured, a restored system — closed or open — continues
+// bit-identically.
 type State struct {
 	Params    Params
 	Lo, Hi    geometry.Vec3
@@ -19,10 +21,34 @@ type State struct {
 	Step      int
 	Time      float64
 	NextID    int64
+
+	// RNG is the serialized position of the stream random source (PCG).
+	// Nil in v1 checkpoints, which predate RNG capture; restore then
+	// reseeds from Params.Seed and the insertion stream replays from zero.
+	RNG []byte
+	// FaceAcc holds the fractional-insertion accumulator of each flux face
+	// in Inflows order. Nil in v1 checkpoints.
+	FaceAcc []float64
+	// Inserted and Deleted are the cumulative open-boundary particle
+	// counters (telemetry continuity across restarts).
+	Inserted, Deleted int64
 }
 
-// CaptureState deep-copies the resumable state.
+// CaptureState deep-copies the resumable state, including the stream RNG
+// position and per-face insertion accumulators.
 func (s *System) CaptureState() State {
+	rngBytes, err := s.rngSrc.MarshalBinary()
+	if err != nil {
+		// PCG.MarshalBinary cannot fail; keep the capture total anyway.
+		rngBytes = nil
+	}
+	var acc []float64
+	if len(s.Inflows) > 0 {
+		acc = make([]float64, len(s.Inflows))
+		for i, f := range s.Inflows {
+			acc[i] = f.Acc
+		}
+	}
 	return State{
 		Params:    s.Params,
 		Lo:        s.Lo,
@@ -32,19 +58,66 @@ func (s *System) CaptureState() State {
 		Step:      s.Step,
 		Time:      s.Time,
 		NextID:    s.nextID,
+		RNG:       rngBytes,
+		FaceAcc:   acc,
+		Inserted:  s.Inserted,
+		Deleted:   s.Deleted,
 	}
 }
 
 // RestoreState creates a fresh System from a captured state. Hooks (Walls,
-// Bonded, External, Inflows) start empty.
+// Bonded, External, Inflows) start empty; use AttachInflows to re-attach
+// flux faces so their checkpointed insertion accumulators are restored too.
 func RestoreState(st State) (*System, error) {
 	if err := st.Params.Validate(); err != nil {
 		return nil, fmt.Errorf("dpd: restoring: %w", err)
 	}
 	sys := NewSystem(st.Params, st.Lo, st.Hi, st.Periodic)
-	sys.Particles = append([]Particle(nil), st.Particles...)
-	sys.Step = st.Step
-	sys.Time = st.Time
-	sys.nextID = st.NextID
+	if err := sys.applyCommon(st); err != nil {
+		return nil, err
+	}
 	return sys, nil
+}
+
+// ApplyState restores a captured state in place, into a system whose hooks
+// (walls, bonded models, flux faces) are already wired — the restart path of
+// the metasolver, which rebuilds the scenario from code and then overlays
+// the checkpointed physics state. The box geometry must match; flux-face
+// accumulators are applied directly to the attached Inflows.
+func (s *System) ApplyState(st State) error {
+	if err := st.Params.Validate(); err != nil {
+		return fmt.Errorf("dpd: applying state: %w", err)
+	}
+	if st.Lo != s.Lo || st.Hi != s.Hi || st.Periodic != s.Periodic {
+		return fmt.Errorf("dpd: applying state: box %v..%v periodic %v does not match checkpoint %v..%v %v",
+			s.Lo, s.Hi, s.Periodic, st.Lo, st.Hi, st.Periodic)
+	}
+	s.Params = st.Params
+	if err := s.applyCommon(st); err != nil {
+		return err
+	}
+	return s.consumePendingFaceAcc()
+}
+
+// applyCommon overlays the serialized fields shared by RestoreState and
+// ApplyState onto sys; pending face accumulators are stashed for
+// AttachInflows (RestoreState) or consumed immediately (ApplyState).
+func (s *System) applyCommon(st State) error {
+	s.Particles = append(s.Particles[:0], st.Particles...)
+	s.Step = st.Step
+	s.Time = st.Time
+	s.nextID = st.NextID
+	s.Inserted = st.Inserted
+	s.Deleted = st.Deleted
+	if st.RNG != nil {
+		if err := s.rngSrc.UnmarshalBinary(st.RNG); err != nil {
+			return fmt.Errorf("dpd: restoring rng stream: %w", err)
+		}
+	}
+	if st.FaceAcc != nil {
+		s.pendingFaceAcc = append([]float64(nil), st.FaceAcc...)
+	} else {
+		s.pendingFaceAcc = nil
+	}
+	return nil
 }

@@ -3,7 +3,7 @@ package dpd
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	"math/rand/v2"
 	"runtime"
 	"sync"
 
@@ -76,7 +76,20 @@ type System struct {
 	Watch *monitor.Watchdogs
 
 	nextID int64
+
+	// rngSrc/rng drive all stream-based randomness (FillRandom, flux-BC
+	// insertions). The source is a PCG whose full position serializes into
+	// dpd.State, so a restored open (flux-BC) system replays the exact
+	// insertion stream an uninterrupted run would have drawn — the
+	// checkpoint/restart determinism contract. Pairwise random *forces* are
+	// counter-based (see pairXi) and carry no stream state at all.
+	rngSrc *rand.PCG
 	rng    *rand.Rand
+
+	// pendingFaceAcc holds flux-face fractional-insertion accumulators
+	// restored from a checkpoint before the caller has re-attached its
+	// FluxBC hooks; AttachInflows consumes it.
+	pendingFaceAcc []float64
 
 	// cell list scratch
 	ncell   [3]int
@@ -98,10 +111,42 @@ func NewSystem(p Params, lo, hi geometry.Vec3, periodic [3]bool) *System {
 	if size.X <= 0 || size.Y <= 0 || size.Z <= 0 {
 		panic(fmt.Sprintf("dpd: empty box %v..%v", lo, hi))
 	}
+	src := rand.NewPCG(p.Seed, rngStreamSalt)
 	return &System{
 		Params: p, Lo: lo, Hi: hi, Periodic: periodic,
-		rng: rand.New(rand.NewSource(int64(p.Seed))),
+		rngSrc: src, rng: rand.New(src),
 	}
+}
+
+// rngStreamSalt is the fixed second PCG seed word: it separates the
+// stream-based RNG (insertions, initial conditions) from the counter-based
+// pairwise force hash, which consumes Params.Seed directly.
+const rngStreamSalt = 0x6e656b746172672d // "nektarg-"
+
+// AttachInflows installs the flux-BC faces on the system. After a
+// RestoreState the faces additionally receive the checkpointed
+// fractional-insertion accumulators (in face order), so a restored open
+// system inserts particles exactly where the uninterrupted run would have.
+func (s *System) AttachInflows(faces ...*FluxBC) error {
+	s.Inflows = append([]*FluxBC(nil), faces...)
+	return s.consumePendingFaceAcc()
+}
+
+// consumePendingFaceAcc moves checkpointed accumulators onto the attached
+// faces; a count mismatch is a wiring error.
+func (s *System) consumePendingFaceAcc() error {
+	if s.pendingFaceAcc == nil {
+		return nil
+	}
+	if len(s.pendingFaceAcc) != len(s.Inflows) {
+		return fmt.Errorf("dpd: checkpoint carries %d flux-face accumulators but %d faces are attached",
+			len(s.pendingFaceAcc), len(s.Inflows))
+	}
+	for i, f := range s.Inflows {
+		f.Acc = s.pendingFaceAcc[i]
+	}
+	s.pendingFaceAcc = nil
+	return nil
 }
 
 // Size returns the box edge lengths.

@@ -27,6 +27,7 @@ type Watchdogs struct {
 	DriftWarn     float64 // particle-drift: |n−ref|/ref beyond this ⇒ warn (default 0.2)
 	DriftCritical float64 // particle-drift: beyond this ⇒ critical (default 0.5)
 	DriftAlpha    float64 // particle-drift: EMA adaptation rate of the reference (default 0.05)
+	DriftMinRef   float64 // particle-drift: reference below this ⇒ track only, no judgement (default 32)
 	CFLWarnFrac   float64 // cfl-watch: cfl > frac × limit ⇒ warn (default 0.9)
 
 	particleRef float64             // slowly adapting particle-count reference (EMA)
@@ -43,9 +44,26 @@ func (h *Health) Watch(track string) *Watchdogs {
 	return &Watchdogs{
 		h: h, track: track,
 		DivergeFactor: 10, DriftWarn: 0.2, DriftCritical: 0.5, DriftAlpha: 0.05,
+		DriftMinRef: 32,
 		CFLWarnFrac: 0.9,
 		state:       map[string]Severity{},
 	}
+}
+
+// Rearm clears the latched severities and the particle-count reference.
+// The critical latch intentionally survives probe recovery — but when a
+// checkpoint restore rolls the solver state back to before the corruption,
+// the latched timeline no longer exists: without re-arming, a fault that
+// recurs after resume would trip silently (no transition, no new Health
+// event) and the recovery loop could not see it. The Health event history
+// keeps the old trips as an audit trail; only the transition state resets.
+// Call between steps only (Watchdogs is single-owner).
+func (w *Watchdogs) Rearm() {
+	if w == nil {
+		return
+	}
+	clear(w.state)
+	w.particleRef = 0
 }
 
 // Track returns the bundle's track name ("" when disabled).
@@ -174,6 +192,14 @@ func (w *Watchdogs) ObserveParticles(n int) {
 	}
 	if w.particleRef == 0 {
 		w.particleRef = float64(n)
+		return
+	}
+	// Below DriftMinRef the relative drift of an open region is statistical
+	// noise — a flux-fed box filling from 1 to 2 particles is a 100% "jump"
+	// that means nothing. Track the reference but pass no judgement until
+	// the population carries signal.
+	if w.particleRef < w.DriftMinRef {
+		w.particleRef += w.DriftAlpha * (float64(n) - w.particleRef)
 		return
 	}
 	drift := math.Abs(float64(n)-w.particleRef) / w.particleRef

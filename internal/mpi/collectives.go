@@ -497,7 +497,8 @@ func (c *Comm) Split(color, key int, name string) *Comm {
 	if rep.state == nil {
 		return nil
 	}
-	// Derived communicators inherit the parent's telemetry recorder (same
-	// rank, same track) so traffic on the whole L2/L3/L4 tree is accounted.
-	return &Comm{state: rep.state, rank: rep.rank, rec: c.rec}
+	// Derived communicators inherit the parent's telemetry recorder and
+	// fault-injection state (same rank, same track) so traffic on the whole
+	// L2/L3/L4 tree is accounted — and faulted.
+	return &Comm{state: rep.state, rank: rep.rank, rec: c.rec, faults: c.faults}
 }

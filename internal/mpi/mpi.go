@@ -154,6 +154,7 @@ type Comm struct {
 	collSeq int                 // per-rank collective sequence number; all ranks advance in lockstep
 	clock   int                 // Lamport-style hop clock; see Hops
 	rec     *telemetry.Recorder // per-rank telemetry sink; nil = disabled (see telemetry.go)
+	faults  *faultState         // per-rank fault injection; nil = disabled (see fault.go)
 }
 
 // Rank returns this process's rank within the communicator.
@@ -239,7 +240,12 @@ func (c *Comm) send(dst, tag int, data any) {
 		c.rec.CountMessage(c.state.level, opForTag(tag), telemetry.PayloadBytes(data))
 	}
 	c.clock++
-	c.state.boxes[dst].put(message{src: c.rank, tag: tag, clock: c.clock, data: data})
+	m := message{src: c.rank, tag: tag, clock: c.clock, data: data}
+	box := c.state.boxes[dst]
+	if f := c.faults; f != nil && f.interceptSend(box, &m, tag) {
+		return // dropped or held for delayed delivery
+	}
+	box.put(m)
 }
 
 // Recv blocks until a message with the given source and tag arrives and
@@ -280,6 +286,14 @@ func Run(size int, body func(world *Comm)) error {
 // black box — every rank's recent telemetry events and watchdog history —
 // while the other ranks' recorders are still intact.
 func RunHooked(size int, body func(world *Comm), onPanic func(rank int, recovered any)) error {
+	return runRanks(size, body, onPanic, nil)
+}
+
+// runRanks is the shared runner behind Run, RunHooked and RunFaulty. A
+// non-nil plan attaches per-rank fault-injection state to every world handle
+// (propagated through Split); held delayed messages are flushed when a
+// rank's body returns so no payload outlives the run.
+func runRanks(size int, body func(world *Comm), onPanic func(rank int, recovered any), plan *FaultPlan) error {
 	if size < 1 {
 		return fmt.Errorf("mpi: Run needs size >= 1, got %d", size)
 	}
@@ -298,7 +312,12 @@ func RunHooked(size int, body func(world *Comm), onPanic func(rank int, recovere
 					}
 				}
 			}()
-			body(&Comm{state: state, rank: rank})
+			world := &Comm{state: state, rank: rank}
+			if plan != nil {
+				world.faults = &faultState{plan: plan, rank: rank}
+				defer world.faults.flushAll()
+			}
+			body(world)
 		}(r)
 	}
 	wg.Wait()

@@ -1,0 +1,92 @@
+package nektar1d
+
+import "fmt"
+
+// SegmentState is the resumable state of one arterial segment: its (A, U)
+// node arrays. Geometry and material parameters (L, N, A0, β, ρ, Kr) are
+// code-side configuration, revalidated on apply.
+type SegmentState struct {
+	Name string
+	A, U []float64
+}
+
+// NetworkState is the serializable part of a Network: per-segment (A, U)
+// fields, the windkessel capacitor pressure of every RC outlet (in outlet
+// order), and the solver clock. The tree topology, inlet flow closures and
+// windkessel parameters are code, rebuilt by the caller; ApplyState overlays
+// the checkpointed physics onto that wiring. Omitting the windkessel
+// pressures — the pre-checkpoint behaviour — silently resets the peripheral
+// impedance to t = 0 on resume, which is exactly the bug this type fixes.
+type NetworkState struct {
+	Segments []SegmentState
+	// OutletP holds Windkessel.P per outlet, in Outlets order.
+	OutletP []float64
+	Time    float64
+	Steps   int
+}
+
+// CaptureState deep-copies the resumable network state.
+func (n *Network) CaptureState() NetworkState {
+	st := NetworkState{Time: n.Time, Steps: n.Steps}
+	st.Segments = make([]SegmentState, len(n.Segments))
+	for i, s := range n.Segments {
+		st.Segments[i] = SegmentState{
+			Name: s.Name,
+			A:    append([]float64(nil), s.A...),
+			U:    append([]float64(nil), s.U...),
+		}
+	}
+	st.OutletP = make([]float64, len(n.Outlets))
+	for i, o := range n.Outlets {
+		st.OutletP[i] = o.WK.P
+	}
+	return st
+}
+
+// ApplyState overlays a captured state onto a network whose topology and
+// boundary devices are already built. Segments are matched by name and must
+// agree in node count; the outlet count must match the checkpoint.
+func (n *Network) ApplyState(st NetworkState) error {
+	if len(st.Segments) != len(n.Segments) {
+		return fmt.Errorf("nektar1d: applying state: %d segments, checkpoint has %d",
+			len(n.Segments), len(st.Segments))
+	}
+	byName := make(map[string]*Segment, len(n.Segments))
+	for _, s := range n.Segments {
+		if _, dup := byName[s.Name]; dup {
+			return fmt.Errorf("nektar1d: applying state: duplicate segment name %q", s.Name)
+		}
+		byName[s.Name] = s
+	}
+	seen := make(map[string]bool, len(st.Segments))
+	for _, ss := range st.Segments {
+		s, ok := byName[ss.Name]
+		if !ok {
+			return fmt.Errorf("nektar1d: applying state: checkpoint segment %q not in network", ss.Name)
+		}
+		if seen[ss.Name] {
+			return fmt.Errorf("nektar1d: applying state: checkpoint repeats segment %q", ss.Name)
+		}
+		seen[ss.Name] = true
+		if len(ss.A) != s.N || len(ss.U) != s.N {
+			return fmt.Errorf("nektar1d: applying state: segment %q has %d nodes, checkpoint carries %d/%d",
+				ss.Name, s.N, len(ss.A), len(ss.U))
+		}
+	}
+	if len(st.OutletP) != len(n.Outlets) {
+		return fmt.Errorf("nektar1d: applying state: %d outlets, checkpoint has %d windkessel pressures",
+			len(n.Outlets), len(st.OutletP))
+	}
+	// Validation done; now mutate.
+	for _, ss := range st.Segments {
+		s := byName[ss.Name]
+		copy(s.A, ss.A)
+		copy(s.U, ss.U)
+	}
+	for i, o := range n.Outlets {
+		o.WK.P = st.OutletP[i]
+	}
+	n.Time = st.Time
+	n.Steps = st.Steps
+	return nil
+}

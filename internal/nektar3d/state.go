@@ -43,18 +43,26 @@ func (s *Solver) CaptureState() State {
 	}
 }
 
-// RestoreState reconstructs a Solver (and its grid) from a captured state.
-// Force and VelBC start nil.
-func RestoreState(st State) (*Solver, error) {
-	g := NewGrid(st.Nex, st.Ney, st.Nez, st.P, st.Lx, st.Ly, st.Lz, st.PerX, st.PerY, st.PerZ)
+// ApplyState overlays a captured state onto a solver whose grid matches the
+// checkpoint and whose behavioral hooks (Force, VelBC) are already attached
+// — the metasolver restart path: the scenario is rebuilt from code, then the
+// checkpointed fields and time-integration history are copied in.
+func (s *Solver) ApplyState(st State) error {
+	g := s.G
+	if g.Nex != st.Nex || g.Ney != st.Ney || g.Nez != st.Nez || g.P != st.P ||
+		g.Lx != st.Lx || g.Ly != st.Ly || g.Lz != st.Lz ||
+		g.PerX != st.PerX || g.PerY != st.PerY || g.PerZ != st.PerZ {
+		return fmt.Errorf("nektar3d: applying state: grid %dx%dx%d p%d (%gx%gx%g) does not match checkpoint %dx%dx%d p%d (%gx%gx%g)",
+			g.Nex, g.Ney, g.Nez, g.P, g.Lx, g.Ly, g.Lz,
+			st.Nex, st.Ney, st.Nez, st.P, st.Lx, st.Ly, st.Lz)
+	}
 	n := g.NumNodes()
 	for _, f := range [][]float64{st.U, st.V, st.W, st.Pr} {
 		if len(f) != n {
-			return nil, fmt.Errorf("nektar3d: restoring: field length %d != %d nodes", len(f), n)
+			return fmt.Errorf("nektar3d: applying state: field length %d != %d nodes", len(f), n)
 		}
 	}
-	s := NewSolver(g, st.Nu, st.Dt)
-	s.Order = st.Order
+	s.Nu, s.Dt, s.Order = st.Nu, st.Dt, st.Order
 	copy(s.U, st.U)
 	copy(s.V, st.V)
 	copy(s.W, st.W)
@@ -69,5 +77,16 @@ func RestoreState(st State) (*Solver, error) {
 	s.exuPrev, s.exvPrev, s.exwPrev = cp(st.ExuPrev), cp(st.ExvPrev), cp(st.ExwPrev)
 	s.Steps = st.Steps
 	s.Time = st.Time
+	return nil
+}
+
+// RestoreState reconstructs a Solver (and its grid) from a captured state.
+// Force and VelBC start nil.
+func RestoreState(st State) (*Solver, error) {
+	g := NewGrid(st.Nex, st.Ney, st.Nez, st.P, st.Lx, st.Ly, st.Lz, st.PerX, st.PerY, st.PerZ)
+	s := NewSolver(g, st.Nu, st.Dt)
+	if err := s.ApplyState(st); err != nil {
+		return nil, fmt.Errorf("nektar3d: restoring: %w", err)
+	}
 	return s, nil
 }

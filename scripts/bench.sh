@@ -27,12 +27,16 @@ echo "== monitor benchmarks (imbalance analyzer, exposition, disabled probes) ==
 mon=$(go test -run '^$' -bench 'Benchmark' -benchmem ./internal/monitor 2>&1)
 printf '%s\n' "$mon"
 
+echo "== checkpoint benchmarks (durable write + resume load, rank-sized bundle) =="
+ckpt=$(go test -run '^$' -bench 'BenchmarkCheckpoint' -benchmem ./internal/checkpoint 2>&1)
+printf '%s\n' "$ckpt"
+
 echo "== scaling tables (cmd/scaling -json) =="
 tables=$(go run ./cmd/scaling -json)
 
 # Assemble the bundle without extra tooling: the bench transcripts are
 # embedded as JSON string arrays (one element per line) via go run so we
 # need no jq/python in the container.
-COMM="$comm" TELE="$tele" MONITOR="$mon" TABLES="$tables" go run ./scripts/benchjson >"$out"
+COMM="$comm" TELE="$tele" MONITOR="$mon" CKPT="$ckpt" TABLES="$tables" go run ./scripts/benchjson >"$out"
 
 echo "wrote $out"

@@ -1,6 +1,6 @@
 // Benchjson assembles BENCH_telemetry.json for scripts/bench.sh: it reads
-// the comm, telemetry and monitor benchmark transcripts plus the scaling
-// tables from the COMM, TELE, MONITOR and TABLES environment variables and
+// the comm, telemetry, monitor and checkpoint benchmark transcripts plus the
+// scaling tables from the COMM, TELE, MONITOR, CKPT and TABLES environment variables and
 // emits one indented JSON document on stdout. Bench transcripts are parsed into structured
 // {name, value, unit} samples (standard `go test -bench` line format) with
 // the raw lines preserved alongside.
@@ -63,6 +63,7 @@ func main() {
 	commLines, commSamples := parseBench(os.Getenv("COMM"))
 	teleLines, teleSamples := parseBench(os.Getenv("TELE"))
 	monLines, monSamples := parseBench(os.Getenv("MONITOR"))
+	ckptLines, ckptSamples := parseBench(os.Getenv("CKPT"))
 
 	var tables json.RawMessage
 	if raw := strings.TrimSpace(os.Getenv("TABLES")); raw != "" {
@@ -84,6 +85,10 @@ func main() {
 		"monitor": map[string]any{
 			"lines":   monLines,
 			"samples": monSamples,
+		},
+		"checkpoint": map[string]any{
+			"lines":   ckptLines,
+			"samples": ckptSamples,
 		},
 		"scaling_tables": tables,
 	}
