@@ -10,9 +10,17 @@ bench-comm:
 bench:
 	go test -bench=. -benchmem
 
-# Telemetry benchmark bundle: comm + instrumentation-overhead benches plus
-# the scaling tables, written to BENCH_telemetry.json (scripts/bench.sh).
+# Telemetry benchmark bundle: comm + instrumentation-overhead + in-situ
+# benches plus the scaling tables, written to BENCH_telemetry.json
+# (scripts/bench.sh).
 bench-telemetry:
 	sh scripts/bench.sh
 
-.PHONY: verify bench bench-comm bench-telemetry
+# Regression gate: rerun the bundle into a scratch file and compare against
+# the committed BENCH_telemetry.json, failing on >25% ns/op regressions
+# (scripts/benchjson -compare; see README "Benchmark regression gate").
+bench-compare:
+	OUT=/tmp/BENCH_new.json sh scripts/bench.sh
+	go run ./scripts/benchjson -compare BENCH_telemetry.json /tmp/BENCH_new.json
+
+.PHONY: verify bench bench-comm bench-telemetry bench-compare

@@ -11,11 +11,21 @@
 //	                     [-platelets N] [-order P] [-seed S]
 //	                     [-monitor-addr :9090] [-log-level info] [-log-format text]
 //	                     [-checkpoint-dir DIR] [-checkpoint-every N] [-resume]
-//	                     [-max-restarts N] [-kill-at N]
+//	                     [-max-restarts N] [-kill-at N] [-flight-max N]
+//	                     [-insitu] [-insitu-stride N] [-insitu-policy P]
+//	                     [-insitu-dir DIR] [-insitu-keep K] [-version]
 //
 // With -monitor-addr the run serves live Prometheus metrics, a JSON health
 // verdict and pprof endpoints while it executes (see internal/monitor);
 // solver watchdogs then guard fields against NaN/Inf and trip /healthz.
+//
+// With -insitu the run additionally publishes downsampled snapshots (patch
+// velocity/pressure slabs, DPD particle subsamples, interface triangulations)
+// into a non-blocking, drop-accounted pipeline consumed by a live observer
+// (see internal/insitu). Combined with -monitor-addr, the observer serves the
+// latest causally consistent frame at /snapshot (JSON metadata) and
+// /snapshot/vtk (legacy VTK scene); with -insitu-dir it also maintains a
+// rolling on-disk VTK time series of the last -insitu-keep frames.
 //
 // With -checkpoint-dir the run writes atomic, checksummed checkpoints every
 // -checkpoint-every exchanges and executes inside the recover-and-resume
@@ -44,6 +54,7 @@ import (
 	"nektarg/internal/core"
 	"nektarg/internal/dpd"
 	"nektarg/internal/geometry"
+	"nektarg/internal/insitu"
 	"nektarg/internal/monitor"
 	"nektarg/internal/nektar1d"
 	"nektarg/internal/nektar3d"
@@ -58,13 +69,78 @@ type telemetryOpts struct {
 	traceOut    string // -trace-out: Chrome trace_event JSON path
 	jsonOut     string // -telemetry-out: aggregate summary JSON path
 	monitorAddr string // -monitor-addr: live HTTP metrics/health endpoint
+	flightMax   int    // -flight-max: per-run flight dump cap
+	insituOn    bool   // -insitu: live snapshot pipeline
+	insituCfg   insitu.Config
+	insituDir   string // -insitu-dir: rolling VTK series directory
+	insituKeep  int    // -insitu-keep: frames kept on disk
 	logger      *slog.Logger
 }
 
 // active reports whether any telemetry output was requested; asking for a
-// trace, a summary file or a live monitor implies enabling the recorders.
+// trace, a summary file, a live monitor or in-situ observation implies
+// enabling the recorders.
 func (o telemetryOpts) active() bool {
-	return o.enabled || o.traceOut != "" || o.jsonOut != "" || o.monitorAddr != ""
+	return o.enabled || o.traceOut != "" || o.jsonOut != "" || o.monitorAddr != "" || o.insituOn
+}
+
+// insituState is the running in-situ pipeline: closed and drained at exit so
+// the final report can print exact conservation numbers.
+type insituState struct {
+	queue *insitu.Queue
+	obs   *insitu.Observer
+	done  chan struct{}
+}
+
+// start builds the in-process pipeline over the fully assembled metasolver,
+// launches the observer goroutine and publishes every stride-th exchange.
+func startInsitu(meta *core.Metasolver, reg *telemetry.Registry, o telemetryOpts) *insituState {
+	if !o.insituOn {
+		return nil
+	}
+	if o.insituDir != "" {
+		if err := os.MkdirAll(o.insituDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	pub, q := insitu.NewPipeline(o.insituCfg)
+	obs := insitu.NewObserver(insitu.ObserverConfig{
+		Sources: insitu.ExpectedSources(meta),
+		Dir:     o.insituDir,
+		Keep:    o.insituKeep,
+		Rec:     reg.NewRecorder("observer"),
+	})
+	obs.SetStatsSource(q.Stats)
+	meta.EnableInsitu(pub)
+	st := &insituState{queue: q, obs: obs, done: make(chan struct{})}
+	go func() {
+		defer close(st.done)
+		obs.Run(q)
+	}()
+	o.logger.Info("in-situ observation enabled",
+		"stride", o.insituCfg.Stride, "policy", o.insituCfg.Policy.String(),
+		"queue_cap", o.insituCfg.QueueCap, "dir", o.insituDir)
+	return st
+}
+
+// finish closes the pipeline, waits for the observer to drain and prints the
+// drop-accounting summary (the published == delivered + dropped law).
+func (st *insituState) finish(logger *slog.Logger) {
+	if st == nil {
+		return
+	}
+	st.queue.Close()
+	<-st.done
+	qs := st.queue.Stats()
+	as := st.obs.AssemblerStats()
+	logger.Info("in-situ pipeline drained",
+		"published", qs.Published, "delivered", qs.Delivered, "dropped", qs.Dropped,
+		"bytes", qs.Bytes, "frames", as.Frames, "abandoned", as.Abandoned,
+		"staleness_steps", as.Staleness)
+	if qs.Published != qs.Delivered+qs.Dropped {
+		logger.Error("in-situ conservation violated",
+			"published", qs.Published, "delivered", qs.Delivered, "dropped", qs.Dropped)
+	}
 }
 
 // setup installs recorders on the metasolver (and the optional 1D tree) when
@@ -85,7 +161,7 @@ func (o telemetryOpts) setup(meta *core.Metasolver, tree *nektar1d.Network) (*te
 	if o.monitorAddr == "" {
 		return reg, nil, nil
 	}
-	mon := monitor.New(reg, monitor.Options{})
+	mon := monitor.New(reg, monitor.Options{FlightLimit: o.flightMax})
 	mon.Health().SetLogger(o.logger)
 	meta.EnableMonitoring(mon.Health())
 	if tree != nil {
@@ -149,6 +225,7 @@ type restartOpts struct {
 	resume      bool   // -resume: reload the newest checkpoint before running
 	maxRestarts int    // -max-restarts: per-position restart budget
 	killAt      int    // -kill-at: one-shot injected panic after this exchange (0 = off)
+	flightMax   int    // -flight-max: per-run flight dump cap
 	logger      *slog.Logger
 }
 
@@ -201,6 +278,9 @@ func driveExchanges(meta *core.Metasolver, networks map[string]*nektar1d.Network
 		source = reg.Recorders
 	}
 	flight := monitor.NewFlightRecorder(filepath.Join(ropts.dir, "flight"), source, health)
+	if ropts.flightMax > 0 {
+		flight.SetLimit(ropts.flightMax)
+	}
 	return core.RunWithRecovery(ck, exchanges, core.RecoveryOptions{
 		MaxRestarts: ropts.maxRestarts,
 		Flight:      flight,
@@ -288,7 +368,18 @@ func main() {
 	resume := flag.Bool("resume", false, "resume from the newest checkpoint in -checkpoint-dir before running")
 	maxRestarts := flag.Int("max-restarts", core.DefaultMaxRestarts, "per-position restart budget of the recovery loop")
 	killAt := flag.Int("kill-at", 0, "inject a one-shot panic after this exchange (fault-injection demo; survivable with -checkpoint-dir)")
+	flightMax := flag.Int("flight-max", monitor.DefaultFlightLimit, "per-run flight dump cap")
+	insituOn := flag.Bool("insitu", false, "enable live in-situ observation: non-blocking snapshot publishing to an observer (implies telemetry recording; pairs with -monitor-addr for /snapshot)")
+	insituStride := flag.Int("insitu-stride", 1, "publish a snapshot every N exchange periods")
+	insituPolicy := flag.String("insitu-policy", "drop-oldest", "queue drop policy: drop-oldest|drop-newest")
+	insituDir := flag.String("insitu-dir", "", "rolling VTK time-series directory (empty = in-memory frames only)")
+	insituKeep := flag.Int("insitu-keep", insitu.DefaultKeep, "frames kept in the rolling VTK series")
+	showVersion := flag.Bool("version", false, "print build provenance and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(monitor.ReadBuildInfo().String())
+		return
+	}
 	logger, err := monitor.NewLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
 		log.Fatal(err)
@@ -296,10 +387,19 @@ func main() {
 	if *resume && *ckptDir == "" {
 		log.Fatal("nektarg: -resume requires -checkpoint-dir")
 	}
+	policy, err := insitu.ParsePolicy(*insituPolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
 	topts := telemetryOpts{enabled: *teleFlag, traceOut: *traceOut, jsonOut: *teleOut,
-		monitorAddr: *monitorAddr, logger: logger}
+		monitorAddr: *monitorAddr, flightMax: *flightMax,
+		insituOn:   *insituOn,
+		insituCfg:  insitu.Config{Stride: *insituStride, Policy: policy},
+		insituDir:  *insituDir,
+		insituKeep: *insituKeep,
+		logger:     logger}
 	ropts := restartOpts{dir: *ckptDir, every: *ckptEvery, resume: *resume,
-		maxRestarts: *maxRestarts, killAt: *killAt, logger: logger}
+		maxRestarts: *maxRestarts, killAt: *killAt, flightMax: *flightMax, logger: logger}
 	stopCPU := startCPUProfile(*cpuProfile)
 	defer stopCPU()
 	defer writeMemProfile(*memProfile)
@@ -399,6 +499,10 @@ func main() {
 	if srv != nil {
 		defer srv.Close() //nolint:errcheck // exiting anyway
 	}
+	ist := startInsitu(meta, reg, topts)
+	if mon != nil && ist != nil {
+		mon.SetSnapshotSource(ist.obs)
+	}
 
 	dof := 0
 	for _, p := range patches {
@@ -477,6 +581,7 @@ func main() {
 		}
 	}
 
+	ist.finish(logger)
 	topts.report(reg, mon, meta)
 }
 
@@ -496,11 +601,33 @@ func runFromConfig(path string, exchanges int, vtkDir string, topts telemetryOpt
 	if err != nil {
 		log.Fatal(err)
 	}
+	// A config-level insitu block enables the pipeline unless the flags
+	// already did; flags win on conflict (operator overrides file), and a
+	// -insitu-dir / -insitu-keep given on the command line survives even
+	// when the enablement came from the file.
+	if cfg.Insitu != nil && !topts.insituOn {
+		icfg, err := cfg.Insitu.InsituConfig()
+		if err != nil {
+			log.Fatal(err)
+		}
+		topts.insituOn = true
+		topts.insituCfg = icfg
+		if topts.insituDir == "" {
+			topts.insituDir = cfg.Insitu.Dir
+		}
+		if topts.insituKeep == insitu.DefaultKeep && cfg.Insitu.Keep > 0 {
+			topts.insituKeep = cfg.Insitu.Keep
+		}
+	}
 	logger.Info("config loaded", "path", path,
 		"patches", len(b.Meta.Patches), "couplings", len(b.Meta.Couplings), "regions", len(b.Meta.Atomistic))
 	reg, mon, srv := topts.setup(b.Meta, nil)
 	if srv != nil {
 		defer srv.Close() //nolint:errcheck // exiting anyway
+	}
+	ist := startInsitu(b.Meta, reg, topts)
+	if mon != nil && ist != nil {
+		mon.SetSnapshotSource(ist.obs)
 	}
 	killed := false
 	onExchange := func(e int) error {
@@ -536,6 +663,7 @@ func runFromConfig(path string, exchanges int, vtkDir string, topts telemetryOpt
 		}
 		fmt.Printf("wrote VTK scene to %s/\n", vtkDir)
 	}
+	ist.finish(logger)
 	topts.report(reg, mon, b.Meta)
 }
 

@@ -33,7 +33,12 @@ func main() {
 	logFormat := flag.String("log-format", "text", "structured log format: text|json")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	showVersion := flag.Bool("version", false, "print build provenance and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(monitor.ReadBuildInfo().String())
+		return
+	}
 
 	logger, err := monitor.NewLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {

@@ -14,6 +14,7 @@ import (
 	"nektarg/internal/core"
 	"nektarg/internal/dpd"
 	"nektarg/internal/geometry"
+	"nektarg/internal/insitu"
 	"nektarg/internal/nektar3d"
 	"nektarg/internal/platelet"
 )
@@ -92,12 +93,53 @@ type Exchange struct {
 	DPDPerNS int `json:"dpdPerNs"` // DPD steps per NS step (default 20)
 }
 
+// Insitu configures the live observation pipeline (internal/insitu): a
+// non-blocking, drop-accounted snapshot stream from the solvers to an
+// observer that assembles causally consistent frames. Omitted = off; the
+// cmd/nektarg -insitu flags override individual fields.
+type Insitu struct {
+	// Stride publishes every Stride-th exchange period (default 1).
+	Stride int `json:"stride"`
+	// GridStride decimates continuum grids per axis (default 2).
+	GridStride int `json:"gridStride"`
+	// MaxParticles caps each region's particle subsample (default 2048).
+	MaxParticles int `json:"maxParticles"`
+	// QueueCap bounds the in-flight piece backlog (default 64).
+	QueueCap int `json:"queueCap"`
+	// Policy selects what a full queue discards: "drop-oldest" (default,
+	// latest-wins live view) or "drop-newest" (archival prefix).
+	Policy string `json:"policy"`
+	// Dir receives the rolling VTK time series ("" = in-memory only).
+	Dir string `json:"dir"`
+	// Keep bounds the on-disk series length (default 4).
+	Keep int `json:"keep"`
+}
+
+// InsituConfig validates the spec into the insitu package's publisher config.
+func (s *Insitu) InsituConfig() (insitu.Config, error) {
+	if s == nil {
+		return insitu.Config{}, nil
+	}
+	pol, err := insitu.ParsePolicy(s.Policy)
+	if err != nil {
+		return insitu.Config{}, fmt.Errorf("config: insitu: %w", err)
+	}
+	return insitu.Config{
+		Stride:       s.Stride,
+		GridStride:   s.GridStride,
+		MaxParticles: s.MaxParticles,
+		QueueCap:     s.QueueCap,
+		Policy:       pol,
+	}, nil
+}
+
 // Config is the full declarative simulation description.
 type Config struct {
 	Patches   []Patch    `json:"patches"`
 	Couplings []Coupling `json:"couplings"`
 	Regions   []Region   `json:"regions"`
 	Exchange  Exchange   `json:"exchange"`
+	Insitu    *Insitu    `json:"insitu,omitempty"`
 }
 
 // Load parses a JSON config, rejecting unknown fields.

@@ -1,0 +1,35 @@
+package core
+
+// FramePublisher is the in-situ observation hook: after every completed
+// exchange period the metasolver hands itself to the publisher, which
+// downsamples the patch fields, particle populations and interface
+// triangulations into snapshot pieces for a live observer (internal/insitu
+// implements it; core deliberately only sees the interface so the layering
+// stays acyclic: insitu imports core, never the reverse).
+//
+// PublishExchange must never block and must not retain references into the
+// metasolver's live arrays past its return — the solvers resume mutating
+// them immediately.
+type FramePublisher interface {
+	PublishExchange(m *Metasolver, exchange int, time float64)
+}
+
+// EnableInsitu installs an in-situ frame publisher. nil disables publishing
+// again; a disabled metasolver pays one nil comparison per exchange period
+// and zero allocations (pinned by TestInsituDisabledZeroCost).
+func (m *Metasolver) EnableInsitu(p FramePublisher) {
+	m.pub = p
+}
+
+// publishInsitu fires the per-exchange hook, if any. The solver time is taken
+// from the first patch (all patches advance in lockstep).
+func (m *Metasolver) publishInsitu() {
+	if m.pub == nil {
+		return
+	}
+	var t float64
+	if len(m.Patches) > 0 {
+		t = m.Patches[0].Solver.Time
+	}
+	m.pub.PublishExchange(m, m.Exchanges, t)
+}

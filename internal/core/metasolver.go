@@ -143,6 +143,10 @@ type Metasolver struct {
 
 	// log is the optional structured logger (SetLogger); nil = quiet.
 	log *slog.Logger
+
+	// pub is the in-situ frame publisher (track: live observation); nil until
+	// EnableInsitu is called. See insitu.go in this package.
+	pub FramePublisher
 }
 
 // NewMetasolver applies the paper's default time-progression ratios.
@@ -280,6 +284,7 @@ func (m *Metasolver) Advance(n int) error {
 				return fmt.Errorf("core: patch %q: %w", m.Patches[i].Name, err)
 			}
 		}
+		m.publishInsitu()
 		if m.log != nil {
 			var t float64
 			if len(m.Patches) > 0 {

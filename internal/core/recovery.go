@@ -102,6 +102,10 @@ func RunWithRecovery(ck *Checkpointer, exchanges int, opt RecoveryOptions) error
 				fmt.Errorf("core: exchange %d failed and no checkpoint is recoverable: %w", attempt, err),
 				rerr)
 		}
+		// The restore succeeded and Resume re-armed the solver watchdogs:
+		// the run is healthy again by construction, so acknowledge the trip
+		// and let /healthz return to 200 instead of latching on history.
+		opt.Health.Rearm()
 		if log != nil {
 			log.Warn("exchange failed; resumed from last good checkpoint",
 				"err", err.Error(), "checkpoint", rpath,

@@ -1,0 +1,142 @@
+package insitu
+
+import (
+	"sync"
+
+	"nektarg/internal/mci"
+	"nektarg/internal/mpi"
+)
+
+// MPI transport: solver L3 ranks stream snapshot pieces to the observer task
+// group's root over the runtime's reserved tag band, flow-controlled by a
+// credit window so a slow observer sheds load at the *publisher* instead of
+// backing pressure into the solve. The paper's vis nodes worked the same way:
+// compute partitions pushed downsampled state to dedicated I/O ranks and
+// never waited for rendering.
+//
+//	publisher rank ──piece──▶ observer root
+//	       ▲                        │
+//	       └────────ack─────────────┘
+//
+// A publisher may have at most Window pieces in flight (sent, unacked); a
+// publish attempted beyond the window is counted as dropped locally and the
+// piece is never sent — eager sends in this runtime cannot block, so without
+// the window a wedged observer would accumulate unbounded mailbox backlog
+// instead of visible drops. Close() drains outstanding acks (the only
+// blocking call, made once at shutdown) and sends a kindEOF sentinel; the
+// observer terminates after collecting one EOF per publisher.
+
+// Salts carving the insitu stream out of the reserved tag band.
+var (
+	saltPieces = mci.SaltFor("insitu/pieces")
+	saltAcks   = mci.SaltFor("insitu/acks")
+)
+
+// DefaultWindow is the credit window when RankPublisherConfig.Window is unset:
+// one full frame's pieces per publisher may be in flight before drops start.
+const DefaultWindow = 8
+
+// RankPublisher is the publisher-side endpoint of the MPI transport. It
+// implements Sink. Not safe for concurrent use: each solver rank owns one.
+type RankPublisher struct {
+	comm   *mpi.Comm
+	dst    int // observer root World rank
+	window int
+
+	outstanding int
+	mu          sync.Mutex
+	st          Stats
+}
+
+// NewRankPublisher builds a stream endpoint sending to the observer root on
+// comm (normally the World comm; dst from Hierarchy.ObserverRootWorldRank).
+// window < 1 takes DefaultWindow.
+func NewRankPublisher(comm *mpi.Comm, dst, window int) *RankPublisher {
+	if window < 1 {
+		window = DefaultWindow
+	}
+	return &RankPublisher{comm: comm, dst: dst, window: window}
+}
+
+// Publish offers one piece without blocking. It first harvests any pending
+// acks (non-blocking), then either sends the piece (eager, never blocks) or
+// counts it dropped when the credit window is exhausted.
+func (rp *RankPublisher) Publish(p *Piece) bool {
+	for {
+		if _, ok := rp.comm.TryRecvReserved(mpi.AnySource, saltAcks); !ok {
+			break
+		}
+		rp.outstanding--
+	}
+	p.Hops = rp.comm.Hops()
+	rp.mu.Lock()
+	rp.st.Published++
+	rp.st.Bytes += p.TelemetryBytes()
+	if p.Step > rp.st.MaxStep {
+		rp.st.MaxStep = p.Step
+	}
+	if rp.outstanding >= rp.window {
+		rp.st.Dropped++
+		rp.st.DropBytes += p.TelemetryBytes()
+		rp.st.Queued = int64(rp.outstanding)
+		rp.mu.Unlock()
+		return false
+	}
+	rp.outstanding++
+	rp.st.Queued = int64(rp.outstanding)
+	rp.mu.Unlock()
+	rp.comm.SendReserved(rp.dst, saltPieces, p)
+	return true
+}
+
+// Close drains the remaining acks (blocking — the one allowed wait, at
+// shutdown) and sends the EOF sentinel telling the observer this publisher is
+// done. After Close the publisher must not be used.
+func (rp *RankPublisher) Close() {
+	for rp.outstanding > 0 {
+		rp.comm.RecvReserved(mpi.AnySource, saltAcks)
+		rp.outstanding--
+	}
+	rp.mu.Lock()
+	rp.st.Queued = 0
+	rp.mu.Unlock()
+	rp.comm.SendReserved(rp.dst, saltPieces, &Piece{Kind: kindEOF})
+}
+
+// Stats returns the publisher-side accounting. On this transport Delivered is
+// maintained by the observer; the conservation law is checked by summing
+// publisher Published/Dropped against the observer's Delivered count.
+func (rp *RankPublisher) Stats() Stats {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.st
+}
+
+// Consumer is the observer-side endpoint ServeObserver feeds. *Observer is
+// the production implementation; tests wrap it to throttle or instrument the
+// consume path.
+type Consumer interface {
+	Consume(p *Piece)
+}
+
+// ServeObserver is the observer root's receive loop: it consumes pieces from
+// numPublishers stream endpoints, acking each piece (returning its credit)
+// and funnelling payloads into the observer, until every publisher has sent
+// EOF. It returns the number of pieces delivered. Run it on the observer
+// group's root rank.
+func ServeObserver(comm *mpi.Comm, numPublishers int, obs Consumer) int64 {
+	var delivered int64
+	eofs := 0
+	for eofs < numPublishers {
+		payload, src := comm.RecvReservedFrom(mpi.AnySource, saltPieces)
+		p := payload.(*Piece)
+		if p.Kind == kindEOF {
+			eofs++
+			continue
+		}
+		comm.SendReserved(src, saltAcks, struct{}{})
+		delivered++
+		obs.Consume(p)
+	}
+	return delivered
+}

@@ -1,0 +1,186 @@
+package insitu
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nektarg/internal/mci"
+	"nektarg/internal/mpi"
+)
+
+// TestStreamConservation runs the full MCI topology of the tentpole: three
+// solver ranks carved into compute tasks, one observer rank carved out via
+// WithObserver, pieces streamed over the reserved tag band with a deliberately
+// tiny credit window against a slow observer. The cross-rank conservation law
+// must hold exactly: sum(published) == sum(dropped) + observer delivered, the
+// window must force real drops, and delivered pieces must carry a positive
+// hop clock (the Lamport stamp the frames are tagged with).
+func TestStreamConservation(t *testing.T) {
+	const (
+		publishers   = 3
+		perPublisher = 40
+		window       = 2
+	)
+	var published, dropped [publishers]int64
+	var delivered, consumed, minHops int64
+	minHops = 1 << 62
+
+	err := mpi.Run(publishers+1, func(world *mpi.Comm) {
+		cfg := mci.WithObserver(mci.Config{Tasks: []mci.TaskSpec{
+			{Name: "ns", Ranks: 2},
+			{Name: "dpd", Ranks: 1},
+		}}, 1)
+		h, err := mci.Build(world, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		root, ok := h.ObserverRootWorldRank()
+		if !ok {
+			t.Error("hierarchy has no observer group")
+			return
+		}
+
+		if h.IsObserver() {
+			obs := NewObserver(ObserverConfig{Sources: []string{"src0", "src1", "src2"}})
+			slow := &slowConsumer{obs: obs, consumed: &consumed, hops: &minHops}
+			atomic.StoreInt64(&delivered, ServeObserver(world, publishers, slow))
+			return
+		}
+
+		// Every compute rank publishes; exercise a handful of Barriers so
+		// the hop clocks genuinely advance during the run.
+		rank := world.Rank()
+		rp := NewRankPublisher(world, root, window)
+		for s := 1; s <= perPublisher; s++ {
+			rp.Publish(testPiece(srcName(rank), s))
+			if s%16 == 0 {
+				// Let a few acks trickle back so both Publish paths
+				// (credit available, credit exhausted) are exercised.
+				time.Sleep(time.Millisecond)
+			}
+		}
+		rp.Close()
+		st := rp.Stats()
+		atomic.StoreInt64(&published[rank], st.Published)
+		atomic.StoreInt64(&dropped[rank], st.Dropped)
+		if st.Queued != 0 {
+			t.Errorf("rank %d: Close left %d outstanding", rank, st.Queued)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var pubSum, dropSum int64
+	for r := 0; r < publishers; r++ {
+		if published[r] != perPublisher {
+			t.Fatalf("rank %d published %d, want %d", r, published[r], perPublisher)
+		}
+		pubSum += published[r]
+		dropSum += dropped[r]
+	}
+	if pubSum != dropSum+delivered {
+		t.Fatalf("cross-rank conservation violated: published %d != dropped %d + delivered %d",
+			pubSum, dropSum, delivered)
+	}
+	if consumed != delivered {
+		t.Fatalf("observer consumed %d, ServeObserver counted %d", consumed, delivered)
+	}
+	if dropSum == 0 {
+		t.Fatal("window-2 stream against a slow observer dropped nothing; test lost its teeth")
+	}
+	if minHops <= 0 {
+		t.Fatalf("delivered pieces carry hop clock %d, want > 0", minHops)
+	}
+}
+
+// slowConsumer wraps an Observer so the stream test can throttle consumption
+// (forcing the credit window to bite) and record per-piece hop clocks.
+type slowConsumer struct {
+	obs      *Observer
+	consumed *int64
+	hops     *int64
+}
+
+func (s *slowConsumer) Consume(p *Piece) {
+	time.Sleep(200 * time.Microsecond)
+	atomic.AddInt64(s.consumed, 1)
+	if int64(p.Hops) < atomic.LoadInt64(s.hops) {
+		atomic.StoreInt64(s.hops, int64(p.Hops))
+	}
+	s.obs.Consume(p)
+}
+
+func srcName(rank int) string {
+	return "src" + string(rune('0'+rank))
+}
+
+// TestStreamCleanShutdown: with a fast observer and a roomy window nothing is
+// dropped, every publisher's Close drains its acks, and ServeObserver
+// terminates after the last EOF — the quiescent path of the protocol.
+func TestStreamCleanShutdown(t *testing.T) {
+	const publishers, perPublisher = 2, 25
+	var delivered int64
+	err := mpi.Run(publishers+1, func(world *mpi.Comm) {
+		if world.Rank() == publishers { // observer root
+			obs := NewObserver(ObserverConfig{Sources: []string{"src0", "src1"}})
+			atomic.StoreInt64(&delivered, ServeObserver(world, publishers, obs))
+			return
+		}
+		rp := NewRankPublisher(world, publishers, 64)
+		for s := 1; s <= perPublisher; s++ {
+			if !rp.Publish(testPiece(srcName(world.Rank()), s)) {
+				t.Errorf("rank %d: publish %d dropped under a roomy window", world.Rank(), s)
+			}
+		}
+		rp.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != publishers*perPublisher {
+		t.Fatalf("delivered = %d, want %d", delivered, publishers*perPublisher)
+	}
+}
+
+// TestObserverGroupTopology pins the MCI carving: observer ranks occupy the
+// highest World ranks, exactly one task is the observer, and every rank
+// agrees on the observer root.
+func TestObserverGroupTopology(t *testing.T) {
+	const world = 6
+	var roots [world]int64
+	err := mpi.Run(world, func(w *mpi.Comm) {
+		cfg := mci.WithObserver(mci.Config{Tasks: []mci.TaskSpec{
+			{Name: "ns", Ranks: 3},
+			{Name: "dpd", Ranks: 2},
+		}}, 1)
+		h, err := mci.Build(w, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		root, ok := h.ObserverRootWorldRank()
+		if !ok {
+			t.Errorf("rank %d sees no observer group", w.Rank())
+			return
+		}
+		atomic.StoreInt64(&roots[w.Rank()], int64(root))
+		wantObserver := w.Rank() == world-1
+		if h.IsObserver() != wantObserver {
+			t.Errorf("rank %d IsObserver = %v, want %v", w.Rank(), h.IsObserver(), wantObserver)
+		}
+		if ot := h.ObserverTask(); h.TaskName(ot) != mci.ObserverTaskName {
+			t.Errorf("observer task %d named %q", ot, h.TaskName(ot))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < world; r++ {
+		if roots[r] != roots[0] {
+			t.Fatalf("ranks disagree on observer root: %v", roots)
+		}
+	}
+}

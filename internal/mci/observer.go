@@ -1,0 +1,54 @@
+package mci
+
+// Observer task group: the vis-node pattern of the paper's co-visualization
+// workflow (and the companion aneurysm paper, arXiv:1110.3092). A dedicated
+// task-oriented L3 group is carved out of the World communicator exactly like
+// a solver task — it occupies a contiguous rank range and gets its own L3
+// sub-communicator — but its job is to *receive* downsampled snapshot pieces
+// streamed by the compute tasks and assemble them into causally consistent
+// frames for live observation, never to compute physics. Solver ranks address
+// the observer through its L3 root on the reserved tag band (see
+// internal/insitu for the drop-accounted streaming protocol).
+
+// ObserverTaskName is the reserved task name identifying the observer group
+// in a Config.Tasks list. WithObserver appends it; solver code must not reuse
+// the name for a compute task.
+const ObserverTaskName = "observer"
+
+// WithObserver returns a copy of cfg with a dedicated observer task of the
+// given rank count appended after the compute tasks, so observer ranks occupy
+// the highest World ranks (the paper placed vis I/O nodes at the partition
+// edge for the same reason: compute rank numbering stays dense and
+// torus-contiguous).
+func WithObserver(cfg Config, ranks int) Config {
+	out := cfg
+	out.Tasks = append(append([]TaskSpec(nil), cfg.Tasks...), TaskSpec{Name: ObserverTaskName, Ranks: ranks})
+	return out
+}
+
+// ObserverTask returns the task index of the observer group, or -1 when the
+// hierarchy was built without one.
+func (h *Hierarchy) ObserverTask() int {
+	for i, name := range h.taskNames {
+		if name == ObserverTaskName {
+			return i
+		}
+	}
+	return -1
+}
+
+// IsObserver reports whether the calling rank belongs to the observer group.
+func (h *Hierarchy) IsObserver() bool {
+	return h.Task >= 0 && h.Name == ObserverTaskName
+}
+
+// ObserverRootWorldRank returns the World rank of the observer group's L3
+// root — the rank solver tasks stream snapshot pieces to — and whether an
+// observer group exists at all.
+func (h *Hierarchy) ObserverRootWorldRank() (int, bool) {
+	t := h.ObserverTask()
+	if t < 0 {
+		return -1, false
+	}
+	return h.L3RootWorldRank(t), true
+}

@@ -1,0 +1,75 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo is the provenance record served at /buildinfo and printed by the
+// -version flags: enough to answer "which binary produced this run?" when a
+// flight dump or metrics scrape comes back from a cluster.
+type BuildInfo struct {
+	Path      string `json:"path"`       // main module import path
+	Version   string `json:"version"`    // module version ("(devel)" for local builds)
+	GoVersion string `json:"go_version"` // toolchain that built the binary
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	Revision  string `json:"revision,omitempty"`  // vcs.revision, when stamped
+	BuildTime string `json:"buildtime,omitempty"` // vcs.time, when stamped
+	Modified  bool   `json:"modified,omitempty"`  // vcs.modified: dirty tree
+}
+
+// ReadBuildInfo collects the running binary's provenance from the embedded
+// module info. It never fails: binaries built without module info (go test
+// binaries, some vendored builds) report what the runtime knows.
+func ReadBuildInfo() BuildInfo {
+	b := BuildInfo{
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		Version:   "(unknown)",
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.Path = bi.Main.Path
+	if bi.Main.Version != "" {
+		b.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.time":
+			b.BuildTime = s.Value
+		case "vcs.modified":
+			b.Modified = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// String renders the one-line -version output.
+func (b BuildInfo) String() string {
+	rev := b.Revision
+	if rev == "" {
+		rev = "unstamped"
+	} else if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if b.Modified {
+		rev += "+dirty"
+	}
+	return fmt.Sprintf("%s %s (%s, %s/%s, rev %s)", b.Path, b.Version, b.GoVersion, b.OS, b.Arch, rev)
+}
+
+// WriteJSON writes the indented JSON document served at /buildinfo.
+func (b BuildInfo) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

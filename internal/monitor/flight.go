@@ -41,6 +41,11 @@ type FlightDump struct {
 	Events    []Event          `json:"events"`
 	Tracks    []FlightTrack    `json:"tracks"`
 	Imbalance []StageImbalance `json:"imbalance,omitempty"`
+	// Insitu is the in-situ pipeline's drop/staleness accounting at dump
+	// time (the observer's SnapshotMeta document), present when an in-situ
+	// source is wired. A crashed run's last flight dump then answers "was the
+	// observer keeping up?" next to "which rank died?".
+	Insitu json.RawMessage `json:"insitu,omitempty"`
 }
 
 // FlightRecorder dumps the observability black box on watchdog trips and
@@ -53,7 +58,8 @@ type FlightRecorder struct {
 	dumps    []string
 	source   func() []*telemetry.Recorder
 	health   *Health
-	now      func() time.Time // test seam
+	insitu   func() ([]byte, error) // in-situ meta source; nil = omit
+	now      func() time.Time       // test seam
 }
 
 // NewFlightRecorder builds a recorder writing into dir (created on demand),
@@ -75,6 +81,38 @@ func (f *FlightRecorder) SetMaxSpans(n int) {
 	}
 	f.mu.Lock()
 	f.maxSpans = n
+	f.mu.Unlock()
+}
+
+// SetLimit overrides the per-run dump cap (default DefaultFlightLimit).
+// cmd/nektarg exposes it as -flight-max.
+func (f *FlightRecorder) SetLimit(n int) {
+	if f == nil || n < 1 {
+		return
+	}
+	f.mu.Lock()
+	f.limit = n
+	f.mu.Unlock()
+}
+
+// Limit returns the per-run dump cap.
+func (f *FlightRecorder) Limit() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.limit
+}
+
+// SetInsituSource wires an in-situ metadata provider (the observer's
+// SnapshotMeta) whose JSON document is embedded in every dump.
+func (f *FlightRecorder) SetInsituSource(fn func() ([]byte, error)) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.insitu = fn
 	f.mu.Unlock()
 }
 
@@ -102,6 +140,7 @@ func (f *FlightRecorder) Dump(reason string, trip *Event) (string, error) {
 		return "", nil
 	}
 	dir, maxSpans := f.dir, f.maxSpans
+	insitu := f.insitu
 	ts := f.now()
 	f.mu.Unlock()
 
@@ -130,6 +169,11 @@ func (f *FlightRecorder) Dump(reason string, trip *Event) (string, error) {
 		})
 	}
 	d.Imbalance = AnalyzeImbalance(snaps)
+	if insitu != nil {
+		if meta, err := insitu(); err == nil && json.Valid(meta) {
+			d.Insitu = json.RawMessage(meta)
+		}
+	}
 
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", fmt.Errorf("monitor: flight dir: %w", err)

@@ -66,6 +66,8 @@ type Health struct {
 	seq     int64
 	counts  map[string][3]int64 // watchdog -> events per severity
 	trips   int64               // cumulative critical events
+	cleared int64               // trips acknowledged by Rearm; healthy = trips == cleared
+	rearms  int64               // number of Rearm calls
 	onTrip  func(Event)         // flight-recorder hook; see Monitor
 	log     *slog.Logger
 }
@@ -159,14 +161,45 @@ func (h *Health) Events() []Event {
 	return out
 }
 
-// Healthy reports whether no watchdog has tripped (no critical events).
+// Healthy reports whether no watchdog has tripped since the last Rearm.
+// Trips stay cumulative (Prometheus counters must never regress); Rearm moves
+// the watermark the verdict is judged against.
 func (h *Health) Healthy() bool {
 	if h == nil {
 		return true
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.trips == 0
+	return h.trips == h.cleared
+}
+
+// Rearm acknowledges every critical event so far: /healthz returns to 200
+// until the next trip. The recovery loop calls it after a checkpoint restore
+// re-arms the solver watchdogs — a restored run is healthy again by
+// construction, and leaving the verdict latched would page on ancient
+// history. The acknowledgement is recorded as an info event so the timeline
+// shows when (and how often) the run recovered.
+func (h *Health) Rearm() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	acked := h.trips - h.cleared
+	h.cleared = h.trips
+	h.rearms++
+	h.mu.Unlock()
+	h.Record("health", "recovery", SevInfo,
+		"health re-armed after recovery", float64(acked))
+}
+
+// Rearms returns how many times the health state has been re-armed.
+func (h *Health) Rearms() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.rearms
 }
 
 // Trips returns the cumulative number of critical events.
@@ -199,7 +232,9 @@ type Verdict struct {
 	Healthy  bool                `json:"healthy"`
 	UptimeS  float64             `json:"uptime_s"`
 	Events   int64               `json:"events"`  // total events recorded
-	Trips    int64               `json:"trips"`   // critical events
+	Trips    int64               `json:"trips"`   // critical events (cumulative, never reset)
+	Cleared  int64               `json:"cleared"` // trips acknowledged by recovery re-arms
+	Rearms   int64               `json:"rearms"`  // recovery re-arm count
 	Dropped  int64               `json:"dropped"` // events evicted from the ring
 	Counts   map[string][3]int64 `json:"watchdogs,omitempty"`
 	Critical []Event             `json:"critical,omitempty"` // most recent critical events (≤ 8)
@@ -213,6 +248,8 @@ func (h *Health) Verdict() Verdict {
 	h.mu.Lock()
 	uptime := time.Since(h.start).Seconds()
 	trips := h.trips
+	cleared := h.cleared
+	rearms := h.rearms
 	dropped := h.dropped
 	seq := h.seq
 	counts := make(map[string][3]int64, len(h.counts))
@@ -234,8 +271,9 @@ func (h *Health) Verdict() Verdict {
 		crit = crit[len(crit)-8:]
 	}
 	v := Verdict{
-		Status: "healthy", Healthy: trips == 0, UptimeS: uptime,
-		Events: seq, Trips: trips, Dropped: dropped, Counts: counts, Critical: crit,
+		Status: "healthy", Healthy: trips == cleared, UptimeS: uptime,
+		Events: seq, Trips: trips, Cleared: cleared, Rearms: rearms,
+		Dropped: dropped, Counts: counts, Critical: crit,
 	}
 	if !v.Healthy {
 		v.Status = "unhealthy"

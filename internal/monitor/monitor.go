@@ -24,6 +24,7 @@
 package monitor
 
 import (
+	"io"
 	"sync"
 	"time"
 
@@ -39,6 +40,22 @@ type Options struct {
 	// FlightSpans caps the trailing spans per track in a dump
 	// (default DefaultFlightSpans).
 	FlightSpans int
+	// FlightLimit caps how many dumps one run may write
+	// (default DefaultFlightLimit; cmd/nektarg's -flight-max).
+	FlightLimit int
+}
+
+// SnapshotSource is the in-situ observation surface the monitor serves: the
+// insitu package's Observer satisfies it structurally, so monitor never
+// imports insitu (which imports core, which imports monitor — the interface
+// breaks the cycle at the thinnest point).
+type SnapshotSource interface {
+	// SnapshotMeta returns the latest frame's metadata and the pipeline's
+	// drop/staleness accounting as a JSON document (/snapshot).
+	SnapshotMeta() ([]byte, error)
+	// SnapshotVTK streams the latest assembled frame as concatenated legacy
+	// VTK documents (/snapshot/vtk). An error means no frame exists yet.
+	SnapshotVTK(w io.Writer) error
 }
 
 // Monitor bundles the health state, flight recorder and snapshot source
@@ -53,6 +70,7 @@ type Monitor struct {
 
 	mu    sync.Mutex
 	extra []func() []*telemetry.Recorder // additional recorder sources
+	snap  SnapshotSource                 // in-situ observation surface; nil = 404
 }
 
 // New builds a monitor over a telemetry registry. The registry supplies the
@@ -65,6 +83,9 @@ func New(reg *telemetry.Registry, opts Options) *Monitor {
 	m.flight = NewFlightRecorder(opts.FlightDir, m.recorders, m.health)
 	if opts.FlightSpans > 0 {
 		m.flight.SetMaxSpans(opts.FlightSpans)
+	}
+	if opts.FlightLimit > 0 {
+		m.flight.SetLimit(opts.FlightLimit)
 	}
 	m.health.OnTrip(func(e Event) {
 		ev := e
@@ -87,6 +108,33 @@ func (m *Monitor) Flight() *FlightRecorder {
 		return nil
 	}
 	return m.flight
+}
+
+// SetSnapshotSource wires the in-situ observation surface: /snapshot and
+// /snapshot/vtk start serving, and flight dumps gain the insitu section.
+// nil detaches it again.
+func (m *Monitor) SetSnapshotSource(src SnapshotSource) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.snap = src
+	m.mu.Unlock()
+	if src == nil {
+		m.flight.SetInsituSource(nil)
+	} else {
+		m.flight.SetInsituSource(src.SnapshotMeta)
+	}
+}
+
+// snapshotSource returns the wired in-situ surface, if any.
+func (m *Monitor) snapshotSource() SnapshotSource {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.snap
 }
 
 // AddSource registers an extra recorder source (e.g. per-rank recorders that

@@ -46,6 +46,15 @@ func syntheticState() ([]*telemetry.Snapshot, *Health) {
 	r0.Gauge("cg_iterations", 18)
 	r1.Gauge("particles", 4000)
 
+	// rank1 doubles as the observer track: insitu.* gauges pin the
+	// <ns>_insitu_* family rendering.
+	r1.Gauge("insitu.published", 48)
+	r1.Gauge("insitu.delivered", 40)
+	r1.Gauge("insitu.dropped", 8)
+	r1.Gauge("insitu.bytes", 65536)
+	r1.Gauge("insitu.frames", 10)
+	r1.Gauge("insitu.staleness", 2)
+
 	h := NewHealth()
 	h.Record("cg-watch", "rank0", SevInfo, "ns.pressure: converged", 1e-9)
 	h.Record("cfl-watch", "rank1", SevWarn, "1d.step: CFL within 10% of limit", 0.95)

@@ -28,9 +28,17 @@ import (
 //	<ns>_traffic_messages_total{level,op}           cluster messages by MCI level × op
 //	<ns>_traffic_bytes_total{level,op}              cluster payload bytes by level × op
 //	<ns>_solver_gauge{track,gauge,stat}             last/mean/min/max of solver gauges
-//	<ns>_health_healthy                             1 healthy, 0 tripped
+//	<ns>_telemetry_dropped_events_total{track}      span records evicted from each track's ring
+//	<ns>_insitu_published_total                     snapshot pieces offered by publishers
+//	<ns>_insitu_delivered_total                     pieces consumed by the observer
+//	<ns>_insitu_dropped_total                       pieces shed by the transport
+//	<ns>_insitu_bytes_total                         payload bytes published
+//	<ns>_insitu_frames_total                        causally consistent frames assembled
+//	<ns>_insitu_staleness_steps                     steps the latest frame trails the newest piece
+//	<ns>_health_healthy                             1 healthy, 0 tripped (since last re-arm)
 //	<ns>_health_events_total{watchdog,severity}     watchdog event counters
-//	<ns>_health_trips_total                         critical events
+//	<ns>_health_trips_total                         critical events (cumulative)
+//	<ns>_health_rearms_total                        recovery re-arms
 type promWriter struct {
 	w   io.Writer
 	err error
@@ -166,8 +174,50 @@ func WriteMetrics(w io.Writer, namespace string, snaps []*telemetry.Snapshot, im
 		}
 	}
 
+	// Telemetry ring eviction, per track. Always emitted — including 0: a
+	// flat-zero series is how an operator proves no span records were lost.
+	p.header(ns+"_telemetry_dropped_events_total", "Span records evicted from each track's telemetry ring.", "counter")
+	for _, s := range ordered {
+		p.sample(ns+"_telemetry_dropped_events_total", [][2]string{{"track", s.Track}}, float64(s.DroppedEvents))
+	}
+
+	// In-situ pipeline accounting, derived from the observer track's
+	// insitu.* gauges (the observer mirrors its counters there so the
+	// exposition needs no extra plumbing). Families appear once any track
+	// carries in-situ gauges.
+	if hasInsituGauges(ordered) {
+		for _, fam := range [...]struct {
+			suffix, help, typ, gauge string
+			max                      bool // max across tracks (gauges); else sum (counters)
+		}{
+			{"_insitu_published_total", "Snapshot pieces offered by in-situ publishers.", "counter", "insitu.published", false},
+			{"_insitu_delivered_total", "Snapshot pieces consumed by the observer.", "counter", "insitu.delivered", false},
+			{"_insitu_dropped_total", "Snapshot pieces shed by the in-situ transport.", "counter", "insitu.dropped", false},
+			{"_insitu_bytes_total", "Payload bytes published into the in-situ pipeline.", "counter", "insitu.bytes", false},
+			{"_insitu_frames_total", "Causally consistent frames assembled by the observer.", "counter", "insitu.frames", false},
+			{"_insitu_staleness_steps", "Steps the latest assembled frame trails the newest published piece.", "gauge", "insitu.staleness", true},
+		} {
+			var v float64
+			for _, s := range ordered {
+				g, ok := s.Gauges[fam.gauge]
+				if !ok {
+					continue
+				}
+				if fam.max {
+					if g.Last > v {
+						v = g.Last
+					}
+				} else {
+					v += g.Last
+				}
+			}
+			p.header(ns+fam.suffix, fam.help, fam.typ)
+			p.sample(ns+fam.suffix, nil, v)
+		}
+	}
+
 	// Health.
-	p.header(ns+"_health_healthy", "1 while no watchdog has tripped, 0 after a critical event.", "gauge")
+	p.header(ns+"_health_healthy", "1 while no watchdog has tripped since the last re-arm, 0 after a critical event.", "gauge")
 	hv := 1.0
 	if !h.Healthy() {
 		hv = 0
@@ -175,6 +225,8 @@ func WriteMetrics(w io.Writer, namespace string, snaps []*telemetry.Snapshot, im
 	p.sample(ns+"_health_healthy", nil, hv)
 	p.header(ns+"_health_trips_total", "Cumulative critical watchdog events.", "counter")
 	p.sample(ns+"_health_trips_total", nil, float64(h.Trips()))
+	p.header(ns+"_health_rearms_total", "Times the health verdict was re-armed after recovery.", "counter")
+	p.sample(ns+"_health_rearms_total", nil, float64(h.Rearms()))
 	p.header(ns+"_health_events_total", "Watchdog events by watchdog and severity.", "counter")
 	counts := h.WatchdogCounts()
 	wnames := make([]string, 0, len(counts))
@@ -192,6 +244,18 @@ func WriteMetrics(w io.Writer, namespace string, snaps []*telemetry.Snapshot, im
 		}
 	}
 	return p.err
+}
+
+// hasInsituGauges reports whether any track carries in-situ pipeline gauges.
+func hasInsituGauges(snaps []*telemetry.Snapshot) bool {
+	for _, s := range snaps {
+		for name := range s.Gauges {
+			if strings.HasPrefix(name, "insitu.") {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // eachStage iterates (track, stage) pairs in deterministic order.

@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -17,6 +18,13 @@ import (
 //	GET  /healthz     JSON verdict; 200 while healthy, 503 once a watchdog
 //	                  has tripped
 //	GET  /imbalance   FormatImbalanceTable report (text)
+//	GET  /snapshot    latest in-situ frame metadata + drop/staleness gauges
+//	                  (JSON; 404 until an in-situ source is wired, 503 before
+//	                  the first frame assembles)
+//	GET  /snapshot/vtk  latest assembled frame as concatenated legacy VTK
+//	                  documents, one per piece, split on "# === insitu piece"
+//	                  banners
+//	GET  /buildinfo   binary provenance (module version, VCS revision, toolchain)
 //	POST /flight      trigger a manual flight dump; returns the path
 //	GET  /debug/pprof/*  live profiling (pprof index, profile, trace, ...)
 func (m *Monitor) Handler() http.Handler {
@@ -27,7 +35,7 @@ func (m *Monitor) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "nektarg monitor\n\nGET  /metrics\nGET  /healthz\nGET  /imbalance\nPOST /flight\nGET  /debug/pprof/\n")
+		fmt.Fprintf(w, "nektarg monitor\n\nGET  /metrics\nGET  /healthz\nGET  /imbalance\nGET  /snapshot\nGET  /snapshot/vtk\nGET  /buildinfo\nPOST /flight\nGET  /debug/pprof/\n")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -52,6 +60,41 @@ func (m *Monitor) Handler() http.Handler {
 	mux.HandleFunc("/imbalance", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, FormatImbalanceTable(m.Imbalance()))
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		src := m.snapshotSource()
+		if src == nil {
+			http.Error(w, "no in-situ source wired (run without -insitu?)", http.StatusNotFound)
+			return
+		}
+		meta, err := src.SnapshotMeta()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(meta) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/snapshot/vtk", func(w http.ResponseWriter, r *http.Request) {
+		src := m.snapshotSource()
+		if src == nil {
+			http.Error(w, "no in-situ source wired (run without -insitu?)", http.StatusNotFound)
+			return
+		}
+		// Buffer first: SnapshotVTK's only error before any bytes flow is
+		// "no frame yet", which must map to 503, and headers are immutable
+		// once the body starts.
+		var buf bytes.Buffer
+		if err := src.SnapshotVTK(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		buf.WriteTo(w) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/buildinfo", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		ReadBuildInfo().WriteJSON(w) //nolint:errcheck // client went away
 	})
 	mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {

@@ -1,0 +1,220 @@
+package monitor
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"nektarg/internal/telemetry"
+)
+
+// fakeSnapshot implements SnapshotSource the way insitu.Observer does,
+// including the "no frame yet" error contract on the VTK path.
+type fakeSnapshot struct {
+	meta    []byte
+	metaErr error
+	vtk     string
+	vtkErr  error
+}
+
+func (f *fakeSnapshot) SnapshotMeta() ([]byte, error) { return f.meta, f.metaErr }
+func (f *fakeSnapshot) SnapshotVTK(w io.Writer) error {
+	if f.vtkErr != nil {
+		return f.vtkErr
+	}
+	_, err := io.WriteString(w, f.vtk)
+	return err
+}
+
+func serveMonitor(t *testing.T, m *Monitor) func(string) (int, []byte, string) {
+	t.Helper()
+	srv, err := m.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return func(path string) (int, []byte, string) {
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body, resp.Header.Get("Content-Type")
+	}
+}
+
+// TestSnapshotEndpoints pins the HTTP status contract of the in-situ surface:
+// 404 with no source wired, 200 JSON meta / 200 VTK once wired, 503 while the
+// observer has no assembled frame yet, 500 when meta marshalling fails.
+func TestSnapshotEndpoints(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.NewRecorder("rank0").RecordSpan("s", 0, time.Millisecond, 0, 0)
+	m := New(reg, Options{})
+	get := serveMonitor(t, m)
+
+	// No source wired: both endpoints 404.
+	if code, _, _ := get("/snapshot"); code != http.StatusNotFound {
+		t.Fatalf("/snapshot without source = %d, want 404", code)
+	}
+	if code, _, _ := get("/snapshot/vtk"); code != http.StatusNotFound {
+		t.Fatalf("/snapshot/vtk without source = %d, want 404", code)
+	}
+
+	// Wired but no frame yet: meta 200 (it reports has_frame), vtk 503.
+	src := &fakeSnapshot{
+		meta:   []byte(`{"has_frame": false}`),
+		vtkErr: errors.New("insitu: no assembled frame yet"),
+	}
+	m.SetSnapshotSource(src)
+	code, body, ctype := get("/snapshot")
+	if code != http.StatusOK || ctype != "application/json" {
+		t.Fatalf("/snapshot = %d %q", code, ctype)
+	}
+	if !strings.Contains(string(body), `"has_frame": false`) {
+		t.Fatalf("/snapshot body = %s", body)
+	}
+	if code, _, _ := get("/snapshot/vtk"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/snapshot/vtk before first frame = %d, want 503", code)
+	}
+
+	// Frame available: the VTK body streams through verbatim.
+	src.vtkErr = nil
+	src.vtk = "# vtk DataFile Version 3.0\nfake scene\n"
+	code, body, _ = get("/snapshot/vtk")
+	if code != http.StatusOK || string(body) != src.vtk {
+		t.Fatalf("/snapshot/vtk = %d %q", code, body)
+	}
+
+	// Meta failure surfaces as 500, not a silent empty document.
+	src.metaErr = errors.New("marshal exploded")
+	if code, _, _ := get("/snapshot"); code != http.StatusInternalServerError {
+		t.Fatalf("/snapshot with failing source = %d, want 500", code)
+	}
+
+	// Unwiring restores 404.
+	m.SetSnapshotSource(nil)
+	if code, _, _ := get("/snapshot"); code != http.StatusNotFound {
+		t.Fatalf("/snapshot after unwire = %d, want 404", code)
+	}
+}
+
+// TestBuildinfoEndpoint: /buildinfo serves the provenance JSON with the
+// fields flight dumps and scrapes are attributed by.
+func TestBuildinfoEndpoint(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := New(reg, Options{})
+	get := serveMonitor(t, m)
+	code, body, ctype := get("/buildinfo")
+	if code != http.StatusOK || ctype != "application/json" {
+		t.Fatalf("/buildinfo = %d %q", code, ctype)
+	}
+	var bi BuildInfo
+	if err := json.Unmarshal(body, &bi); err != nil {
+		t.Fatalf("/buildinfo not valid JSON: %v\n%s", err, body)
+	}
+	if bi.GoVersion == "" || bi.OS == "" || bi.Arch == "" {
+		t.Fatalf("buildinfo incomplete: %+v", bi)
+	}
+	if s := ReadBuildInfo().String(); s == "" {
+		t.Fatal("BuildInfo.String() empty")
+	}
+}
+
+// TestFlightLimitConfigurable pins the -flight-max satellite: the cap is no
+// longer hard-coded, and dumps embed the in-situ drop accounting when a
+// source is wired.
+func TestFlightLimitConfigurable(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	reg.NewRecorder("rank0").RecordSpan("s", 0, time.Millisecond, 0, 0)
+	m := New(reg, Options{FlightDir: dir, FlightLimit: 1})
+	if got := m.Flight().Limit(); got != 1 {
+		t.Fatalf("Limit() = %d, want 1", got)
+	}
+	m.SetSnapshotSource(&fakeSnapshot{
+		meta: []byte(`{"has_frame": true, "transport": {"published": 9, "dropped": 2}}`),
+	})
+
+	path, err := m.Flight().Dump("manual", nil)
+	if err != nil || path == "" {
+		t.Fatalf("first dump: path=%q err=%v", path, err)
+	}
+	if p2, err := m.Flight().Dump("manual", nil); err != nil || p2 != "" {
+		t.Fatalf("dump past configured limit 1: path=%q err=%v, want silent refusal", p2, err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d FlightDump
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(d.Insitu), `"published": 9`) {
+		t.Fatalf("dump in-situ section = %s, want the drop accounting embedded", d.Insitu)
+	}
+
+	// Raising the limit at runtime re-opens the budget (the restart path).
+	m.Flight().SetLimit(2)
+	if p3, err := m.Flight().Dump("manual", nil); err != nil || p3 == "" {
+		t.Fatalf("dump after SetLimit(2): path=%q err=%v", p3, err)
+	}
+}
+
+// TestHealthRearmHTTP pins the re-arm watermark through the HTTP surface:
+// trip -> 503, Rearm -> 200 again, while the trip counter stays monotonic
+// for Prometheus and the rearm is visible in both the verdict and /metrics.
+func TestHealthRearmHTTP(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.NewRecorder("rank0").RecordSpan("s", 0, time.Millisecond, 0, 0)
+	// Critical records auto-fire flight dumps; keep them out of the package
+	// directory (an empty FlightDir means ".").
+	m := New(reg, Options{FlightDir: t.TempDir()})
+	get := serveMonitor(t, m)
+
+	if code, _, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz healthy = %d", code)
+	}
+	m.Health().Record("test-guard", "rank0", SevCritical, "injected trip", 1)
+	code, body, _ := get("/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz after trip = %d, want 503", code)
+	}
+	var v Verdict
+	if err := json.Unmarshal(body, &v); err != nil || v.Healthy || v.Trips != 1 || v.Cleared != 0 {
+		t.Fatalf("tripped verdict = %s (err %v)", body, err)
+	}
+
+	m.Health().Rearm()
+	code, body, _ = get("/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz after rearm = %d, want 200", code)
+	}
+	if err := json.Unmarshal(body, &v); err != nil || !v.Healthy || v.Trips != 1 || v.Cleared != 1 || v.Rearms != 1 {
+		t.Fatalf("re-armed verdict = %s (err %v)", body, err)
+	}
+
+	_, mb, _ := get("/metrics")
+	for _, want := range []string{
+		"nektarg_health_healthy 1",
+		"nektarg_health_trips_total 1", // monotonic: re-arm never rewinds it
+		"nektarg_health_rearms_total 1",
+	} {
+		if !strings.Contains(string(mb), want) {
+			t.Fatalf("metrics after rearm missing %q:\n%s", want, mb)
+		}
+	}
+
+	// A fresh trip after re-arm flips back to 503: the latch still works.
+	m.Health().Record("test-guard", "rank0", SevCritical, "second trip", 1)
+	if code, _, _ := get("/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz after second trip = %d, want 503", code)
+	}
+}

@@ -116,6 +116,20 @@ func (mb *mailbox) take(src, tag int) message {
 	}
 }
 
+// tryTake removes and returns the first message matching (src, tag) if one is
+// already buffered; it never blocks.
+func (mb *mailbox) tryTake(src, tag int) (message, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for i, m := range mb.msgs {
+		if (src == AnySource || m.src == src) && m.tag == tag {
+			mb.msgs = append(mb.msgs[:i], mb.msgs[i+1:]...)
+			return m, true
+		}
+	}
+	return message{}, false
+}
+
 // AnySource matches messages from any sender in Recv.
 const AnySource = -1
 
@@ -259,6 +273,43 @@ func (c *Comm) Recv(src, tag int) any {
 func (c *Comm) RecvReserved(src, salt int) any {
 	checkSalt(salt)
 	return c.recvMsg(src, ReservedTagBase+salt).data
+}
+
+// RecvReservedFrom is RecvReserved that also reports the actual sender —
+// needed by service loops (the in-situ observer rank) that accept traffic
+// from AnySource and must address a per-sender reply (the delivery ack).
+func (c *Comm) RecvReservedFrom(src, salt int) (any, int) {
+	checkSalt(salt)
+	m := c.recvMsg(src, ReservedTagBase+salt)
+	return m.data, m.src
+}
+
+// TryRecv attempts a non-blocking receive of (src, tag): if a matching
+// message is already buffered it is consumed (charging the hop clock exactly
+// like Recv) and returned with ok = true; otherwise it returns (nil, false)
+// immediately without waiting. This is the primitive a never-stall publisher
+// uses to drain flow-control acks opportunistically: MPI_Iprobe+Recv
+// collapsed into one call.
+func (c *Comm) TryRecv(src, tag int) (any, bool) {
+	checkUserTag(tag)
+	return c.tryRecvMsg(src, tag)
+}
+
+// TryRecvReserved is TryRecv on the reserved tag band; it pairs with
+// SendReserved.
+func (c *Comm) TryRecvReserved(src, salt int) (any, bool) {
+	checkSalt(salt)
+	return c.tryRecvMsg(src, ReservedTagBase+salt)
+}
+
+// tryRecvMsg is the non-blocking counterpart of recvMsg.
+func (c *Comm) tryRecvMsg(src, tag int) (any, bool) {
+	m, ok := c.state.boxes[c.rank].tryTake(src, tag)
+	if !ok {
+		return nil, false
+	}
+	c.observe(m.clock)
+	return m.data, true
 }
 
 // RecvFrom is Recv that also reports the actual sender (useful with

@@ -1,0 +1,121 @@
+package mpi
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestTryRecvNonBlocking pins the MPI_Iprobe+Recv collapse the in-situ
+// publisher relies on: an empty mailbox returns immediately with ok = false
+// and does not advance the hop clock; a buffered message is consumed exactly
+// like Recv, including the Lamport observation.
+func TestTryRecvNonBlocking(t *testing.T) {
+	err := Run(2, func(w *Comm) {
+		switch w.Rank() {
+		case 0:
+			before := w.Hops()
+			if v, ok := w.TryRecv(AnySource, 7); ok {
+				t.Errorf("TryRecv on empty mailbox returned %v", v)
+			}
+			if w.Hops() != before {
+				t.Error("failed TryRecv advanced the hop clock")
+			}
+			w.Send(1, 1, "go") // rank 1 must not send before the empty probe
+			w.Recv(1, 1)       // rendezvous: tag 7 is now buffered (FIFO)
+			before = w.Hops()
+			v, ok := w.TryRecv(1, 7)
+			if !ok || v.(int) != 42 {
+				t.Errorf("TryRecv after send = %v, %v; want 42, true", v, ok)
+			}
+			if w.Hops() <= before {
+				t.Error("successful TryRecv did not advance the hop clock")
+			}
+			// Consumed means consumed: a second try finds nothing.
+			if _, ok := w.TryRecv(1, 7); ok {
+				t.Error("TryRecv re-delivered a consumed message")
+			}
+		case 1:
+			w.Recv(0, 1)
+			w.Send(0, 7, 42)
+			w.Send(0, 1, "sent")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTryRecvReservedSelectivity: the reserved-band variant must filter by
+// both salt and (when given) source, leaving non-matching traffic queued.
+func TestTryRecvReservedSelectivity(t *testing.T) {
+	const saltA, saltB = 101, 102
+	err := Run(3, func(w *Comm) {
+		switch w.Rank() {
+		case 0:
+			w.Recv(1, 1)
+			w.Recv(2, 1)
+			// Both salts are buffered from both senders. Drain selectively.
+			if _, ok := w.TryRecvReserved(2, saltA); !ok {
+				t.Error("saltA from rank 2 not found")
+			}
+			if _, ok := w.TryRecvReserved(2, saltA); ok {
+				t.Error("saltA from rank 2 delivered twice")
+			}
+			if v, ok := w.TryRecvReserved(AnySource, saltA); !ok || v.(int) != 10 {
+				t.Errorf("remaining saltA = %v, %v; want 10 from rank 1", v, ok)
+			}
+			// saltB traffic was untouched by the saltA drains.
+			got := 0
+			for {
+				v, ok := w.TryRecvReserved(AnySource, saltB)
+				if !ok {
+					break
+				}
+				got += v.(int)
+			}
+			if got != 300 { // 100 + 200
+				t.Errorf("saltB sum = %d, want 300", got)
+			}
+		default:
+			w.SendReserved(0, saltA, 10*w.Rank())
+			w.SendReserved(0, saltB, 100*w.Rank())
+			w.Send(0, 1, "ready")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecvReservedFromReportsSender: the service-loop primitive must report
+// the true sender under AnySource so per-sender acks can be addressed — the
+// exact shape of the in-situ observer's receive loop.
+func TestRecvReservedFromReportsSender(t *testing.T) {
+	const salt = 55
+	var acked [4]int64
+	err := Run(4, func(w *Comm) {
+		if w.Rank() == 0 {
+			for n := 0; n < 3; n++ {
+				v, src := w.RecvReservedFrom(AnySource, salt)
+				if v.(int) != src*src {
+					t.Errorf("payload %v from rank %d, want %d", v, src, src*src)
+				}
+				w.SendReserved(src, salt, "ack")
+			}
+			return
+		}
+		w.SendReserved(0, salt, w.Rank()*w.Rank())
+		if v := w.RecvReserved(0, salt); v.(string) != "ack" {
+			t.Errorf("rank %d ack = %v", w.Rank(), v)
+		}
+		atomic.AddInt64(&acked[w.Rank()], 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < 4; r++ {
+		if acked[r] != 1 {
+			t.Fatalf("rank %d acked %d times, want 1", r, acked[r])
+		}
+	}
+}

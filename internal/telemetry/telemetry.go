@@ -547,10 +547,11 @@ func (r *Recorder) Snapshot() *Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := &Snapshot{
-		Track:   r.track,
-		Traffic: r.traffic,
-		Stages:  make(map[string]StageStats, len(r.stage)),
-		Gauges:  make(map[string]GaugeStats, len(r.gauge)),
+		Track:         r.track,
+		Traffic:       r.traffic,
+		Stages:        make(map[string]StageStats, len(r.stage)),
+		Gauges:        make(map[string]GaugeStats, len(r.gauge)),
+		DroppedEvents: r.dropped,
 	}
 	for k, v := range r.stage {
 		s.Stages[k] = *v
@@ -567,6 +568,11 @@ type Snapshot struct {
 	Traffic TrafficMatrix         `json:"traffic"`
 	Stages  map[string]StageStats `json:"stages"`
 	Gauges  map[string]GaugeStats `json:"gauges"`
+	// DroppedEvents counts span records evicted from the trace ring by
+	// wrap-around (aggregates are unaffected; only trace detail is lost).
+	// Surfaced as nektarg_telemetry_dropped_events_total so a scrape can
+	// tell how much of the trace horizon survives.
+	DroppedEvents int64 `json:"dropped_events"`
 }
 
 // StageNames returns the snapshot's span names, sorted.

@@ -22,6 +22,46 @@ import (
 	"nektarg/internal/nektar3d"
 )
 
+// WriteStructuredSlab writes a structured velocity/pressure slab given raw
+// 1-D node coordinate arrays — the writer shared by the full-resolution grid
+// output below and the downsampled in-situ snapshot pieces (internal/insitu),
+// which carry decimated coordinate arrays instead of a live solver grid.
+// Fields are indexed n = (k*ny + j)*nx + i; points stream x-fastest per VTK's
+// convention. pr may be nil.
+func WriteStructuredSlab(w io.Writer, title string, xs, ys, zs []float64, u, v, vel, pr []float64, origin geometry.Vec3) error {
+	nx, ny, nz := len(xs), len(ys), len(zs)
+	n := nx * ny * nz
+	if len(u) != n || len(v) != n || len(vel) != n {
+		return fmt.Errorf("viz: velocity field sizes %d/%d/%d != %d nodes", len(u), len(v), len(vel), n)
+	}
+	if pr != nil && len(pr) != n {
+		return fmt.Errorf("viz: pressure field size %d != %d nodes", len(pr), n)
+	}
+	bw := &errWriter{w: w}
+	bw.printf("# vtk DataFile Version 3.0\n%s\nASCII\nDATASET STRUCTURED_GRID\n", title)
+	bw.printf("DIMENSIONS %d %d %d\n", nx, ny, nz)
+	bw.printf("POINTS %d double\n", n)
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				bw.printf("%g %g %g\n", xs[i]+origin.X, ys[j]+origin.Y, zs[k]+origin.Z)
+			}
+		}
+	}
+	bw.printf("POINT_DATA %d\n", n)
+	bw.printf("VECTORS velocity double\n")
+	for i := 0; i < n; i++ {
+		bw.printf("%g %g %g\n", u[i], v[i], vel[i])
+	}
+	if pr != nil {
+		bw.printf("SCALARS pressure double 1\nLOOKUP_TABLE default\n")
+		for i := 0; i < n; i++ {
+			bw.printf("%g\n", pr[i])
+		}
+	}
+	return bw.err
+}
+
 // WriteStructuredGrid writes a continuum grid with its velocity and pressure
 // fields as a legacy VTK structured grid. Points stream in x-fastest order,
 // matching VTK's convention.
@@ -32,38 +72,10 @@ func WriteStructuredGrid(w io.Writer, title string, g *nektar3d.Grid, u, v, vel,
 	if pr != nil && len(pr) != g.NumNodes() {
 		return fmt.Errorf("viz: pressure field size %d != %d nodes", len(pr), g.NumNodes())
 	}
-	bw := &errWriter{w: w}
-	bw.printf("# vtk DataFile Version 3.0\n%s\nASCII\nDATASET STRUCTURED_GRID\n", title)
-	bw.printf("DIMENSIONS %d %d %d\n", g.Nx, g.Ny, g.Nz)
-	bw.printf("POINTS %d double\n", g.NumNodes())
-	for k := 0; k < g.Nz; k++ {
-		for j := 0; j < g.Ny; j++ {
-			for i := 0; i < g.Nx; i++ {
-				bw.printf("%g %g %g\n", g.X[i]+origin.X, g.Y[j]+origin.Y, g.Z[k]+origin.Z)
-			}
-		}
-	}
-	bw.printf("POINT_DATA %d\n", g.NumNodes())
-	bw.printf("VECTORS velocity double\n")
-	for k := 0; k < g.Nz; k++ {
-		for j := 0; j < g.Ny; j++ {
-			for i := 0; i < g.Nx; i++ {
-				n := g.Idx(i, j, k)
-				bw.printf("%g %g %g\n", u[n], v[n], vel[n])
-			}
-		}
-	}
-	if pr != nil {
-		bw.printf("SCALARS pressure double 1\nLOOKUP_TABLE default\n")
-		for k := 0; k < g.Nz; k++ {
-			for j := 0; j < g.Ny; j++ {
-				for i := 0; i < g.Nx; i++ {
-					bw.printf("%g\n", pr[g.Idx(i, j, k)])
-				}
-			}
-		}
-	}
-	return bw.err
+	// The solver's field layout already matches the slab convention
+	// (Grid.Idx is (k*Ny + j)*Nx + i), so the full-resolution writer is the
+	// slab writer fed with the grid's own coordinate arrays.
+	return WriteStructuredSlab(w, title, g.X[:g.Nx], g.Y[:g.Ny], g.Z[:g.Nz], u, v, vel, pr, origin)
 }
 
 // ParticleScalar labels one per-particle scalar channel.
@@ -72,24 +84,28 @@ type ParticleScalar struct {
 	Values []float64
 }
 
-// WriteParticles writes a particle population as VTK POLYDATA vertices with
-// optional scalar channels (species, activation state, ...). transform maps
-// particle positions into the output frame; nil means identity.
-func WriteParticles(w io.Writer, title string, sys *dpd.System, transform func(geometry.Vec3) geometry.Vec3, scalars ...ParticleScalar) error {
-	n := len(sys.Particles)
+// WritePointCloud writes raw particle positions/velocities/species as VTK
+// POLYDATA vertices — the writer shared by the live-system output below and
+// the downsampled in-situ particle subsamples (internal/insitu), which carry
+// plain arrays instead of a *dpd.System. pos, vel and species must agree in
+// length; species may be nil.
+func WritePointCloud(w io.Writer, title string, pos, vel []geometry.Vec3, species []int, scalars ...ParticleScalar) error {
+	n := len(pos)
+	if len(vel) != n {
+		return fmt.Errorf("viz: %d velocities for %d particles", len(vel), n)
+	}
+	if species != nil && len(species) != n {
+		return fmt.Errorf("viz: %d species for %d particles", len(species), n)
+	}
 	for _, s := range scalars {
 		if len(s.Values) != n {
 			return fmt.Errorf("viz: scalar %q has %d values for %d particles", s.Name, len(s.Values), n)
 		}
 	}
-	if transform == nil {
-		transform = func(p geometry.Vec3) geometry.Vec3 { return p }
-	}
 	bw := &errWriter{w: w}
 	bw.printf("# vtk DataFile Version 3.0\n%s\nASCII\nDATASET POLYDATA\n", title)
 	bw.printf("POINTS %d double\n", n)
-	for i := range sys.Particles {
-		p := transform(sys.Particles[i].Pos)
+	for _, p := range pos {
 		bw.printf("%g %g %g\n", p.X, p.Y, p.Z)
 	}
 	bw.printf("VERTICES %d %d\n", n, 2*n)
@@ -98,13 +114,14 @@ func WriteParticles(w io.Writer, title string, sys *dpd.System, transform func(g
 	}
 	bw.printf("POINT_DATA %d\n", n)
 	bw.printf("VECTORS velocity double\n")
-	for i := range sys.Particles {
-		v := sys.Particles[i].Vel
+	for _, v := range vel {
 		bw.printf("%g %g %g\n", v.X, v.Y, v.Z)
 	}
-	bw.printf("SCALARS species int 1\nLOOKUP_TABLE default\n")
-	for i := range sys.Particles {
-		bw.printf("%d\n", sys.Particles[i].Species)
+	if species != nil {
+		bw.printf("SCALARS species int 1\nLOOKUP_TABLE default\n")
+		for _, s := range species {
+			bw.printf("%d\n", s)
+		}
 	}
 	for _, s := range scalars {
 		bw.printf("SCALARS %s double 1\nLOOKUP_TABLE default\n", s.Name)
@@ -113,6 +130,25 @@ func WriteParticles(w io.Writer, title string, sys *dpd.System, transform func(g
 		}
 	}
 	return bw.err
+}
+
+// WriteParticles writes a particle population as VTK POLYDATA vertices with
+// optional scalar channels (species, activation state, ...). transform maps
+// particle positions into the output frame; nil means identity.
+func WriteParticles(w io.Writer, title string, sys *dpd.System, transform func(geometry.Vec3) geometry.Vec3, scalars ...ParticleScalar) error {
+	if transform == nil {
+		transform = func(p geometry.Vec3) geometry.Vec3 { return p }
+	}
+	n := len(sys.Particles)
+	pos := make([]geometry.Vec3, n)
+	vel := make([]geometry.Vec3, n)
+	species := make([]int, n)
+	for i := range sys.Particles {
+		pos[i] = transform(sys.Particles[i].Pos)
+		vel[i] = sys.Particles[i].Vel
+		species[i] = sys.Particles[i].Species
+	}
+	return WritePointCloud(w, title, pos, vel, species, scalars...)
 }
 
 // WriteSurface writes an interface triangulation ΓI as VTK POLYDATA

@@ -3,15 +3,17 @@
 # telemetry overhead (enabled vs disabled instrumentation paths), and the
 # paper's scaling tables in machine-readable form.
 #
-# Produces BENCH_telemetry.json in the repo root: a single JSON document
-# with the scaling tables (as emitted by `go run ./cmd/scaling -json`)
-# plus raw `go test -bench` transcripts for the comm and telemetry suites.
+# Produces BENCH_telemetry.json in the repo root (override the path with
+# OUT=..., used by make bench-compare): a single JSON document with the
+# scaling tables (as emitted by `go run ./cmd/scaling -json`) plus raw
+# `go test -bench` transcripts for the comm, telemetry, monitor, checkpoint
+# and in-situ suites.
 #
 # Usage: scripts/bench.sh   (or: make bench-telemetry)
 set -eu
 
 cd "$(dirname "$0")/.."
-out=BENCH_telemetry.json
+out=${OUT:-BENCH_telemetry.json}
 
 echo "== comm benchmarks (collectives + MCI exchange) =="
 comm=$(go test -run '^$' \
@@ -31,12 +33,16 @@ echo "== checkpoint benchmarks (durable write + resume load, rank-sized bundle) 
 ckpt=$(go test -run '^$' -bench 'BenchmarkCheckpoint' -benchmem ./internal/checkpoint 2>&1)
 printf '%s\n' "$ckpt"
 
+echo "== in-situ benchmarks (publish/assemble + disabled hook) =="
+insitu=$(go test -run '^$' -bench 'BenchmarkInsitu' -benchmem ./internal/insitu ./internal/core 2>&1)
+printf '%s\n' "$insitu"
+
 echo "== scaling tables (cmd/scaling -json) =="
 tables=$(go run ./cmd/scaling -json)
 
 # Assemble the bundle without extra tooling: the bench transcripts are
 # embedded as JSON string arrays (one element per line) via go run so we
 # need no jq/python in the container.
-COMM="$comm" TELE="$tele" MONITOR="$mon" CKPT="$ckpt" TABLES="$tables" go run ./scripts/benchjson >"$out"
+COMM="$comm" TELE="$tele" MONITOR="$mon" CKPT="$ckpt" INSITU="$insitu" TABLES="$tables" go run ./scripts/benchjson >"$out"
 
 echo "wrote $out"

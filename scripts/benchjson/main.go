@@ -1,15 +1,31 @@
-// Benchjson assembles BENCH_telemetry.json for scripts/bench.sh: it reads
-// the comm, telemetry, monitor and checkpoint benchmark transcripts plus the
-// scaling tables from the COMM, TELE, MONITOR, CKPT and TABLES environment variables and
-// emits one indented JSON document on stdout. Bench transcripts are parsed into structured
-// {name, value, unit} samples (standard `go test -bench` line format) with
-// the raw lines preserved alongside.
+// Benchjson assembles and compares BENCH_telemetry.json bundles.
+//
+// Bundle mode (default, used by scripts/bench.sh): reads the comm,
+// telemetry, monitor, checkpoint and insitu benchmark transcripts plus the
+// scaling tables from the COMM, TELE, MONITOR, CKPT, INSITU and TABLES
+// environment variables and emits one indented JSON document on stdout.
+// Bench transcripts are parsed into structured {name, value, unit} samples
+// (standard `go test -bench` line format) with the raw lines preserved
+// alongside.
+//
+// Compare mode (make bench-compare):
+//
+//	go run ./scripts/benchjson -compare old.json new.json
+//
+// matches every ns/op sample present in both bundles by section/name and
+// flags regressions where new exceeds old by more than -threshold (default
+// 25%). Exits 1 when any regression is found, so CI can gate on it. Bench
+// noise on shared runners is real: treat a failure as "rerun and look", not
+// proof — but a clean pass is evidence no large regression shipped.
 package main
 
 import (
 	"encoding/json"
+	"flag"
+	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -56,14 +72,22 @@ func parseBench(out string) (lines []string, samples []Sample) {
 	return lines, samples
 }
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("benchjson: ")
+// sections is the stable order of bench transcript sections in a bundle.
+var sections = []string{"comm", "telemetry", "monitor", "checkpoint", "insitu"}
 
-	commLines, commSamples := parseBench(os.Getenv("COMM"))
-	teleLines, teleSamples := parseBench(os.Getenv("TELE"))
-	monLines, monSamples := parseBench(os.Getenv("MONITOR"))
-	ckptLines, ckptSamples := parseBench(os.Getenv("CKPT"))
+func bundle() {
+	env := map[string]string{
+		"comm":       "COMM",
+		"telemetry":  "TELE",
+		"monitor":    "MONITOR",
+		"checkpoint": "CKPT",
+		"insitu":     "INSITU",
+	}
+	doc := map[string]any{}
+	for _, sec := range sections {
+		lines, samples := parseBench(os.Getenv(env[sec]))
+		doc[sec] = map[string]any{"lines": lines, "samples": samples}
+	}
 
 	var tables json.RawMessage
 	if raw := strings.TrimSpace(os.Getenv("TABLES")); raw != "" {
@@ -72,29 +96,110 @@ func main() {
 		}
 		tables = json.RawMessage(raw)
 	}
+	doc["scaling_tables"] = tables
 
-	doc := map[string]any{
-		"comm": map[string]any{
-			"lines":   commLines,
-			"samples": commSamples,
-		},
-		"telemetry": map[string]any{
-			"lines":   teleLines,
-			"samples": teleSamples,
-		},
-		"monitor": map[string]any{
-			"lines":   monLines,
-			"samples": monSamples,
-		},
-		"checkpoint": map[string]any{
-			"lines":   ckptLines,
-			"samples": ckptSamples,
-		},
-		"scaling_tables": tables,
-	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// loadNsPerOp reads a bundle and returns section/name -> ns/op. Duplicate
+// names within a section keep the minimum (the usual min-of-N noise shield).
+func loadNsPerOp(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]float64{}
+	for _, sec := range sections {
+		secRaw, ok := doc[sec]
+		if !ok {
+			continue // older bundles predate some sections
+		}
+		var body struct {
+			Samples []Sample `json:"samples"`
+		}
+		if err := json.Unmarshal(secRaw, &body); err != nil {
+			return nil, fmt.Errorf("%s: section %q: %w", path, sec, err)
+		}
+		for _, s := range body.Samples {
+			if s.Unit != "ns/op" {
+				continue
+			}
+			key := sec + "/" + s.Name
+			if v, ok := out[key]; !ok || s.Value < v {
+				out[key] = s.Value
+			}
+		}
+	}
+	return out, nil
+}
+
+func compare(oldPath, newPath string, threshold float64) {
+	oldNs, err := loadNsPerOp(oldPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newNs, err := loadNsPerOp(newPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	keys := make([]string, 0, len(oldNs))
+	for k := range oldNs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var regressions, compared, missing int
+	fmt.Printf("%-64s %12s %12s %8s\n", "benchmark (section/name, ns/op)", "old", "new", "delta")
+	for _, k := range keys {
+		nv, ok := newNs[k]
+		if !ok {
+			missing++
+			continue
+		}
+		compared++
+		ov := oldNs[k]
+		delta := nv/ov - 1
+		mark := ""
+		if delta > threshold {
+			mark = "  << REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-64s %12.1f %12.1f %+7.1f%%%s\n", k, ov, nv, 100*delta, mark)
+	}
+	fmt.Printf("\ncompared %d benchmarks (%d only in %s), threshold +%.0f%%\n",
+		compared, missing, oldPath, 100*threshold)
+	if compared == 0 {
+		log.Fatal("no common ns/op samples between the two bundles")
+	}
+	if regressions > 0 {
+		log.Fatalf("%d regression(s) beyond +%.0f%% ns/op", regressions, 100*threshold)
+	}
+	fmt.Println("no regressions")
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+
+	doCompare := flag.Bool("compare", false, "compare two bundles: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 0.25, "regression threshold as a fraction (0.25 = +25% ns/op)")
+	flag.Parse()
+
+	if *doCompare {
+		if flag.NArg() != 2 {
+			log.Fatal("usage: benchjson -compare old.json new.json")
+		}
+		compare(flag.Arg(0), flag.Arg(1), *threshold)
+		return
+	}
+	bundle()
 }

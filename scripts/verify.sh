@@ -9,15 +9,23 @@ set -eux
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/mpi/... ./internal/mci/... ./internal/core/... ./internal/telemetry/... ./internal/monitor/... ./internal/checkpoint/...
+go test -race ./internal/mpi/... ./internal/mci/... ./internal/core/... ./internal/telemetry/... ./internal/monitor/... ./internal/checkpoint/... ./internal/insitu/...
 
 # Zero-cost-when-disabled guards: instrumentation on a nil recorder and
 # watchdog probes on a nil bundle must allocate nothing and stay within a few
 # ns/op (see telemetry/overhead_test.go and monitor/monitor_test.go).
 go test -run TestDisabledPathNearZeroCost -count=1 ./internal/telemetry
 go test -run TestMonitorDisabledZeroCost -count=1 ./internal/monitor
+go test -run TestInsituDisabledZeroCost -count=1 ./internal/core
 
 # Fault-injection smoke: a rank killed mid-run by the deterministic fault
 # harness must dump flight telemetry, resume from the last good checkpoint
 # and finish bit-identical to a fault-free run (the PR 4 acceptance test).
 go test -run 'TestFaultKill|TestRecoveryFromInjectedRankKill|TestRestartDeterminism' -count=1 ./internal/mpi ./internal/core
+
+# In-situ observation acceptance (PR 5): the drop-accounting conservation law
+# over faulted and unfaulted coupled runs and the causal frame-assembly
+# contract, under the race detector; plus the non-blocking guarantee — a
+# deliberately stalled observer must not inflate solver step time.
+go test -race -run 'TestCoupledConservation|TestStreamConservation|TestQueueConservation|TestAssemblerCausalConsistency' -count=1 ./internal/insitu
+go test -run 'TestInsituNonBlockingStall' -count=1 ./internal/insitu
