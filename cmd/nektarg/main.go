@@ -13,7 +13,8 @@
 //	                     [-checkpoint-dir DIR] [-checkpoint-every N] [-resume]
 //	                     [-max-restarts N] [-kill-at N] [-flight-max N]
 //	                     [-insitu] [-insitu-stride N] [-insitu-policy P]
-//	                     [-insitu-dir DIR] [-insitu-keep K] [-version]
+//	                     [-insitu-dir DIR] [-insitu-keep K]
+//	                     [-transport tcp -rank N -peers H:P,H:P,...] [-version]
 //
 // With -monitor-addr the run serves live Prometheus metrics, a JSON health
 // verdict and pprof endpoints while it executes (see internal/monitor);
@@ -33,6 +34,13 @@
 // flight recorder, reloads the last good checkpoint and continues. -resume
 // restarts a previous run from its newest checkpoint; -kill-at injects a
 // one-shot panic after the given exchange to demonstrate the loop.
+//
+// With -transport tcp the run becomes one rank of a multi-process world: every
+// process runs the same scenario, -peers lists each rank's host:port in rank
+// order, and -rank selects this process's slot. Combined with the (required)
+// -checkpoint-dir, a killed process can simply be relaunched: the survivors
+// re-dial, the world agrees on the common newest checkpoint, and every rank
+// rolls back and continues (see core.RunDistributed).
 package main
 
 import (
@@ -48,6 +56,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
+	"time"
 
 	"nektarg/internal/checkpoint"
 	"nektarg/internal/config"
@@ -56,6 +66,8 @@ import (
 	"nektarg/internal/geometry"
 	"nektarg/internal/insitu"
 	"nektarg/internal/monitor"
+	"nektarg/internal/mpi"
+	"nektarg/internal/mpi/tcptransport"
 	"nektarg/internal/nektar1d"
 	"nektarg/internal/nektar3d"
 	"nektarg/internal/platelet"
@@ -227,6 +239,47 @@ type restartOpts struct {
 	killAt      int    // -kill-at: one-shot injected panic after this exchange (0 = off)
 	flightMax   int    // -flight-max: per-run flight dump cap
 	logger      *slog.Logger
+	// transport, when non-nil, runs this process as one rank of a TCP world
+	// (kind is always "tcp" here: the in-process default leaves it nil).
+	transport *config.Transport
+}
+
+// transportFlags carries the raw -transport/-rank/-peers/-rendezvous-sec
+// values until a config file (if any) is loaded; merge resolves them against
+// the file's transport block with flags winning, mirroring the insitu merge.
+type transportFlags struct {
+	kind   string
+	rank   int
+	peers  string
+	rendez int
+}
+
+// merge overlays the flags on an optional config transport block and
+// validates the result. Returns nil for the in-process default.
+func (f transportFlags) merge(fromCfg *config.Transport) (*config.Transport, error) {
+	t := &config.Transport{}
+	if fromCfg != nil {
+		*t = *fromCfg
+	}
+	if f.kind != "" {
+		t.Kind = f.kind
+	}
+	if f.rank >= 0 {
+		t.Rank = f.rank
+	}
+	if f.peers != "" {
+		t.Peers = strings.Split(f.peers, ",")
+	}
+	if f.rendez > 0 {
+		t.RendezvousSec = f.rendez
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if t.Kind != "tcp" {
+		return nil, nil
+	}
+	return t, nil
 }
 
 // driveExchanges advances the metasolver to the target exchange count,
@@ -238,6 +291,9 @@ type restartOpts struct {
 func driveExchanges(meta *core.Metasolver, networks map[string]*nektar1d.Network,
 	exchanges int, onExchange func(int) error,
 	ropts restartOpts, reg *telemetry.Registry, mon *monitor.Monitor) error {
+	if ropts.transport != nil && ropts.dir == "" {
+		return errors.New("nektarg: -transport tcp requires -checkpoint-dir (each process rolls back from its own store after a failure)")
+	}
 	if ropts.dir == "" {
 		for meta.Exchanges < exchanges {
 			if err := meta.Advance(1); err != nil {
@@ -256,7 +312,10 @@ func driveExchanges(meta *core.Metasolver, networks map[string]*nektar1d.Network
 		Every:    ropts.every,
 		Log:      ropts.logger,
 	}
-	if ropts.resume {
+	if ropts.resume && ropts.transport == nil {
+		// Distributed runs skip this: the resume protocol inside
+		// RunDistributed always rolls every rank to the world's common
+		// newest checkpoint on connect.
 		switch _, err := ck.Resume(); {
 		case err == nil:
 			// Resume() already logged the path and exchange.
@@ -280,6 +339,24 @@ func driveExchanges(meta *core.Metasolver, networks map[string]*nektar1d.Network
 	flight := monitor.NewFlightRecorder(filepath.Join(ropts.dir, "flight"), source, health)
 	if ropts.flightMax > 0 {
 		flight.SetLimit(ropts.flightMax)
+	}
+	if t := ropts.transport; t != nil {
+		rendez := time.Duration(t.RendezvousSec) * time.Second
+		if rendez <= 0 {
+			rendez = 30 * time.Second
+		}
+		ropts.logger.Info("joining tcp world",
+			"rank", t.Rank, "size", len(t.Peers), "listen", t.Peers[t.Rank])
+		return core.RunDistributed(ck, exchanges, core.DistributedOptions{
+			Dial: func() (mpi.Transport, error) {
+				return tcptransport.New(t.Rank, t.Peers, tcptransport.Options{RendezvousTimeout: rendez})
+			},
+			MaxRestarts: ropts.maxRestarts,
+			Flight:      flight,
+			Health:      health,
+			OnExchange:  func(_ *mpi.Comm, e int) error { return onExchange(e) },
+			Log:         ropts.logger,
+		})
 	}
 	return core.RunWithRecovery(ck, exchanges, core.RecoveryOptions{
 		MaxRestarts: ropts.maxRestarts,
@@ -374,6 +451,10 @@ func main() {
 	insituPolicy := flag.String("insitu-policy", "drop-oldest", "queue drop policy: drop-oldest|drop-newest")
 	insituDir := flag.String("insitu-dir", "", "rolling VTK time-series directory (empty = in-memory frames only)")
 	insituKeep := flag.Int("insitu-keep", insitu.DefaultKeep, "frames kept in the rolling VTK series")
+	transportKind := flag.String("transport", "", "rank transport: inproc (default) or tcp — one OS process per rank; tcp needs -rank, -peers and -checkpoint-dir")
+	rankFlag := flag.Int("rank", -1, "this process's world rank (with -transport tcp)")
+	peersFlag := flag.String("peers", "", "comma-separated host:port for every rank in rank order (with -transport tcp); this process listens at its own entry")
+	rendezSec := flag.Int("rendezvous-sec", 0, "seconds the tcp rendezvous waits for the other processes (default 30)")
 	showVersion := flag.Bool("version", false, "print build provenance and exit")
 	flag.Parse()
 	if *showVersion {
@@ -400,13 +481,19 @@ func main() {
 		logger:     logger}
 	ropts := restartOpts{dir: *ckptDir, every: *ckptEvery, resume: *resume,
 		maxRestarts: *maxRestarts, killAt: *killAt, flightMax: *flightMax, logger: logger}
+	tflags := transportFlags{kind: *transportKind, rank: *rankFlag, peers: *peersFlag, rendez: *rendezSec}
 	stopCPU := startCPUProfile(*cpuProfile)
 	defer stopCPU()
 	defer writeMemProfile(*memProfile)
 	if *configPath != "" {
-		runFromConfig(*configPath, *exchanges, *vtkDir, topts, ropts)
+		runFromConfig(*configPath, *exchanges, *vtkDir, topts, ropts, tflags)
 		return
 	}
+	tr, err := tflags.merge(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ropts.transport = tr
 	if *nPatches < 1 {
 		log.Fatal("nektarg: need at least one patch")
 	}
@@ -586,7 +673,7 @@ func main() {
 }
 
 // runFromConfig builds and drives a simulation from a declarative JSON file.
-func runFromConfig(path string, exchanges int, vtkDir string, topts telemetryOpts, ropts restartOpts) {
+func runFromConfig(path string, exchanges int, vtkDir string, topts telemetryOpts, ropts restartOpts, tflags transportFlags) {
 	logger := topts.logger
 	f, err := os.Open(path)
 	if err != nil {
@@ -599,6 +686,11 @@ func runFromConfig(path string, exchanges int, vtkDir string, topts telemetryOpt
 	}
 	b, err := cfg.Build()
 	if err != nil {
+		log.Fatal(err)
+	}
+	// A config-level transport block selects the world carrier unless the
+	// flags already did; flags win field by field (operator overrides file).
+	if ropts.transport, err = tflags.merge(cfg.Transport); err != nil {
 		log.Fatal(err)
 	}
 	// A config-level insitu block enables the pipeline unless the flags

@@ -192,6 +192,20 @@ func (s *Store) Latest() (string, *Coupled, error) {
 	return "", nil, fmt.Errorf("checkpoint: no checkpoint in %s: %w", s.Dir, os.ErrNotExist)
 }
 
+// At loads the checkpoint written at exactly the given exchange count. The
+// distributed resume protocol needs this precision: after a process failure,
+// every rank restores the *common* newest exchange (the minimum over ranks'
+// latest checkpoints), not its own newest — a rank that checkpointed ahead
+// of the crash must roll back to where the world agrees.
+func (s *Store) At(exchanges int) (string, *Coupled, error) {
+	path := filepath.Join(s.Dir, fileName(exchanges))
+	c, err := ReadFile(path)
+	if err != nil {
+		return "", nil, fmt.Errorf("checkpoint: no usable checkpoint at exchange %d in %s: %w", exchanges, s.Dir, err)
+	}
+	return path, c, nil
+}
+
 // prune removes the oldest managed files beyond the retention bound.
 // Pruning is best-effort: a failed remove never fails the write that
 // triggered it.

@@ -1,0 +1,136 @@
+package checkpoint
+
+// Store behavior under the debris an interrupted run leaves behind: stale
+// *.tmp files from torn Writes, corrupt envelopes, and retention pressure.
+// These pin the contract the distributed resume protocol (Store.At + the
+// common-minimum agreement in core.RunDistributed) stands on.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStoreLatestSkipsTmpWithoutDecoding: a leftover checkpoint-*.ckpt.tmp
+// from a Write interrupted before its rename must be invisible to the store —
+// skipped by name, never decoded. The tmp here is a fully valid envelope with
+// a HIGHER exchange count than every real checkpoint, so if Latest ever
+// decoded tmp files it would win and the assertion below would catch it.
+func TestStoreLatestSkipsTmpWithoutDecoding(t *testing.T) {
+	st := &Store{Dir: t.TempDir(), Keep: 4}
+	for e := 1; e <= 2; e++ {
+		if _, err := st.Write(sampleBundle(t, e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tmp := filepath.Join(st.Dir, fileName(9)+".tmp")
+	if err := WriteFile(tmp+".x", sampleBundle(t, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp+".x", tmp); err != nil { // WriteFile would rename the .tmp away
+		t.Fatal(err)
+	}
+
+	if paths := st.List(); len(paths) != 2 {
+		t.Fatalf("List sees %d files (tmp leaked in?): %v", len(paths), paths)
+	}
+	path, c, err := st.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Exchanges != 2 {
+		t.Fatalf("Latest returned exchange %d from %s: decoded a tmp file", c.Exchanges, path)
+	}
+}
+
+// TestStoreLatestTmpCorruptGoodMix is the full debris field: a stale tmp, a
+// corrupt newest envelope, and an older good one. Latest must land on the
+// good one.
+func TestStoreLatestTmpCorruptGoodMix(t *testing.T) {
+	st := &Store{Dir: t.TempDir(), Keep: 4}
+	for e := 1; e <= 3; e++ {
+		if _, err := st.Write(sampleBundle(t, e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paths := st.List()
+	// Newest torn mid-write; garbage tmp alongside.
+	if err := os.WriteFile(paths[2], []byte("NKCP torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(paths[2]+".tmp", []byte("partial write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, c, err := st.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Exchanges != 2 {
+		t.Fatalf("Latest fell back to exchange %d, want 2", c.Exchanges)
+	}
+}
+
+// TestStorePruneKeepsLastGood pins why prune is safe where it is called:
+// retention runs only after a successful Write, so the file that survives
+// pruning always includes the just-written good checkpoint — even when every
+// older file is corrupt and Keep is at its tightest.
+func TestStorePruneKeepsLastGood(t *testing.T) {
+	st := &Store{Dir: t.TempDir(), Keep: 1}
+	for e := 1; e <= 2; e++ {
+		if _, err := st.Write(sampleBundle(t, e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt everything on disk, then write a fresh good checkpoint: prune
+	// must sweep the corpses and keep the good one.
+	for _, p := range st.List() {
+		if err := os.WriteFile(p, []byte("flipped"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.Write(sampleBundle(t, 3)); err != nil {
+		t.Fatal(err)
+	}
+	paths := st.List()
+	if len(paths) != 1 {
+		t.Fatalf("retention kept %d files: %v", len(paths), paths)
+	}
+	_, c, err := st.Latest()
+	if err != nil {
+		t.Fatalf("pruning deleted the last good checkpoint: %v", err)
+	}
+	if c.Exchanges != 3 {
+		t.Fatalf("survivor is exchange %d, want 3", c.Exchanges)
+	}
+}
+
+// TestStoreAt: exact-exchange lookup for the distributed rollback — present
+// and good loads; missing or corrupt is an error, never a silent substitute.
+func TestStoreAt(t *testing.T) {
+	st := &Store{Dir: t.TempDir(), Keep: 4}
+	for e := 1; e <= 3; e++ {
+		if _, err := st.Write(sampleBundle(t, e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, c, err := st.At(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Exchanges != 2 || filepath.Base(path) != fileName(2) {
+		t.Fatalf("At(2) returned exchange %d from %s", c.Exchanges, path)
+	}
+	if _, _, err := st.At(7); err == nil {
+		t.Fatal("At(7) succeeded with no such checkpoint")
+	} else if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("At(7) error does not wrap ErrNotExist: %v", err)
+	}
+	// Corrupt exchange 3: At must refuse rather than hand back bad physics.
+	if err := os.WriteFile(filepath.Join(st.Dir, fileName(3)), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.At(3); err == nil {
+		t.Fatal("At(3) loaded a corrupt checkpoint")
+	}
+}

@@ -133,6 +133,45 @@ func (s *Insitu) InsituConfig() (insitu.Config, error) {
 	}, nil
 }
 
+// Transport selects how the simulation's rank world is carried: the default
+// in-process mailboxes, or a TCP world spanning OS processes (one process per
+// rank, every process running the same config). Omitted = in-process; the
+// cmd/nektarg -transport/-rank/-peers flags override individual fields.
+type Transport struct {
+	// Kind is "inproc" (default) or "tcp".
+	Kind string `json:"kind"`
+	// Rank is this process's slot in the world (tcp only).
+	Rank int `json:"rank"`
+	// Peers lists every rank's host:port in rank order (tcp only); this
+	// process listens at Peers[Rank] and connects to the rest.
+	Peers []string `json:"peers"`
+	// RendezvousSec bounds how long connection setup waits for the other
+	// processes to appear (default 30s) — also the window a restarted
+	// process has to rejoin after a crash.
+	RendezvousSec int `json:"rendezvousSec"`
+}
+
+// Validate checks the transport spec for internal consistency.
+func (t *Transport) Validate() error {
+	if t == nil {
+		return nil
+	}
+	switch t.Kind {
+	case "", "inproc":
+		return nil
+	case "tcp":
+		if len(t.Peers) < 1 {
+			return fmt.Errorf("config: transport: tcp needs a peers list")
+		}
+		if t.Rank < 0 || t.Rank >= len(t.Peers) {
+			return fmt.Errorf("config: transport: rank %d outside peers list of %d", t.Rank, len(t.Peers))
+		}
+		return nil
+	default:
+		return fmt.Errorf("config: transport: unknown kind %q (want inproc or tcp)", t.Kind)
+	}
+}
+
 // Config is the full declarative simulation description.
 type Config struct {
 	Patches   []Patch    `json:"patches"`
@@ -140,6 +179,7 @@ type Config struct {
 	Regions   []Region   `json:"regions"`
 	Exchange  Exchange   `json:"exchange"`
 	Insitu    *Insitu    `json:"insitu,omitempty"`
+	Transport *Transport `json:"transport,omitempty"`
 }
 
 // Load parses a JSON config, rejecting unknown fields.

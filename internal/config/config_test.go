@@ -116,3 +116,45 @@ func TestDefaultsApplied(t *testing.T) {
 		t.Fatalf("default time order %d", b.Patches["p"].Solver.Order)
 	}
 }
+
+func TestTransportValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		tr   *Transport
+		ok   bool
+	}{
+		{"nil is inproc", nil, true},
+		{"empty kind is inproc", &Transport{}, true},
+		{"explicit inproc", &Transport{Kind: "inproc"}, true},
+		{"tcp two ranks", &Transport{Kind: "tcp", Rank: 1, Peers: []string{"a:1", "b:2"}}, true},
+		{"tcp no peers", &Transport{Kind: "tcp"}, false},
+		{"tcp rank outside peers", &Transport{Kind: "tcp", Rank: 2, Peers: []string{"a:1", "b:2"}}, false},
+		{"tcp negative rank", &Transport{Kind: "tcp", Rank: -1, Peers: []string{"a:1"}}, false},
+		{"unknown kind", &Transport{Kind: "carrier-pigeon"}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.tr.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestLoadTransportBlock(t *testing.T) {
+	json := `{
+	  "patches": [{"name": "p", "elements": [2,1,1], "order": 3, "size": [1,1,1],
+	    "periodic": [false,true,false], "nu": 0.5, "dt": 0.01}],
+	  "transport": {"kind": "tcp", "rank": 1,
+	    "peers": ["127.0.0.1:7001", "127.0.0.1:7002"], "rendezvousSec": 10}
+	}`
+	c, err := Load(strings.NewReader(json))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := c.Transport
+	if tr == nil || tr.Kind != "tcp" || tr.Rank != 1 || len(tr.Peers) != 2 || tr.RendezvousSec != 10 {
+		t.Fatalf("transport block %+v", tr)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -168,6 +168,25 @@ func (ck *Checkpointer) MaybeCheckpoint() error {
 	return err
 }
 
+// ResumeAt loads the checkpoint at exactly the given exchange count and
+// overlays it onto the live wiring. The distributed recovery loop uses it to
+// roll every rank back to the world's common newest checkpoint (see
+// RunDistributed); Resume remains the single-process "latest good" path.
+func (ck *Checkpointer) ResumeAt(exchanges int) (string, error) {
+	path, c, err := ck.Store.At(exchanges)
+	if err != nil {
+		return "", err
+	}
+	if err := ck.Meta.RestoreCheckpoint(c, ck.Networks); err != nil {
+		return "", fmt.Errorf("core: resuming from %s: %w", path, err)
+	}
+	ck.Meta.RearmWatchdogs()
+	if ck.Log != nil {
+		ck.Log.Info("resumed from checkpoint", "path", path, "exchange", c.Exchanges)
+	}
+	return path, nil
+}
+
 // Resume loads the newest good checkpoint from the store and overlays it
 // onto the live wiring, returning the path it resumed from.
 func (ck *Checkpointer) Resume() (string, error) {

@@ -141,10 +141,12 @@ func (c *Comm) Bcast(root int, data any) any {
 	return data
 }
 
-// gatherEntry carries one rank's contribution up the gather tree.
+// gatherEntry carries one rank's contribution up the gather tree. Fields are
+// exported so bundles gob-encode when a gather hop crosses a process
+// boundary (the type itself stays package-internal).
 type gatherEntry struct {
-	rank int
-	data any
+	Rank int
+	Data any
 }
 
 // gatherBundle is the payload of one gather-tree hop: a rank's accumulated
@@ -157,7 +159,7 @@ type gatherBundle []gatherEntry
 func (b gatherBundle) TelemetryBytes() int64 {
 	var n int64
 	for _, e := range b {
-		n += 8 + telemetry.PayloadBytes(e.data)
+		n += 8 + telemetry.PayloadBytes(e.Data)
 	}
 	return n
 }
@@ -184,7 +186,7 @@ func (c *Comm) Gather(root int, data any) []any {
 	size := c.state.size
 	c.checkRoot(root)
 	vr := (c.rank - root + size) % size
-	entries := gatherBundle{{rank: c.rank, data: data}}
+	entries := gatherBundle{{Rank: c.rank, Data: data}}
 	for mask := 1; mask < size; mask <<= 1 {
 		if vr&mask != 0 {
 			c.send((c.rank-mask+size)%size, tag, entries)
@@ -198,7 +200,7 @@ func (c *Comm) Gather(root int, data any) []any {
 	}
 	out := make([]any, size)
 	for _, e := range entries {
-		out[e.rank] = e.data
+		out[e.Rank] = e.Data
 	}
 	return out
 }
@@ -440,36 +442,50 @@ func (c *Comm) Alltoall(parts []any) []any {
 	return out
 }
 
-// splitRequest is each rank's (color, key) contribution to Split.
+// splitRequest is each rank's (color, key) contribution to Split. Exported
+// fields so the gather bundle carrying it gob-encodes across processes.
 type splitRequest struct {
-	rank, color, key int
+	Rank, Color, Key int
 }
 
-// splitReply carries a rank's new communicator assignment.
-type splitReply struct {
-	state *commState
-	rank  int
+// splitAssign carries a rank's new communicator assignment: its rank in the
+// child, the group's color, and the group's members as parent-comm ranks in
+// child-rank order. It is plain data (no shared pointers) so Split works
+// identically whether the parent communicator spans goroutines or processes;
+// each rank materializes the shared child state locally from it. Rank < 0
+// means no assignment (negative color).
+type splitAssign struct {
+	Rank    int
+	Color   int
+	Members []int
 }
 
 // Split partitions the communicator by color, ordering ranks within each new
 // communicator by (key, old rank), exactly like MPI_Comm_split. Every rank
 // must call it; a rank passing a negative color receives nil (MPI_UNDEFINED).
 // Implemented as a tree Gather of requests to rank 0 — which computes the
-// partition once so each new communicator shares one state object — followed
-// by a tree Scatter of the assignments; both legs are O(log P) deep.
+// partition once — followed by a tree Scatter of the assignments; both legs
+// are O(log P) deep. The child's wire identity is derived deterministically
+// from the parent's id, the (lockstep) collective sequence number of this
+// Split, and the color, so every member — in any process — opens the same
+// communicator without further coordination.
 func (c *Comm) Split(color, key int, name string) *Comm {
 	size := c.state.size
-	reqs := c.Gather(0, splitRequest{rank: c.rank, color: color, key: key})
+	seq := c.collSeq // pre-Gather, identical on every rank (lockstep)
+	reqs := c.Gather(0, splitRequest{Rank: c.rank, Color: color, Key: key})
 	var parts []any
 	if c.rank == 0 {
 		groups := map[int][]splitRequest{}
 		for _, raw := range reqs {
 			r := raw.(splitRequest)
-			if r.color >= 0 {
-				groups[r.color] = append(groups[r.color], r)
+			if r.Color >= 0 {
+				groups[r.Color] = append(groups[r.Color], r)
 			}
 		}
-		replies := make([]splitReply, size)
+		assigns := make([]splitAssign, size)
+		for i := range assigns {
+			assigns[i] = splitAssign{Rank: -1}
+		}
 		colors := make([]int, 0, len(groups))
 		for col := range groups {
 			colors = append(colors, col)
@@ -478,27 +494,37 @@ func (c *Comm) Split(color, key int, name string) *Comm {
 		for _, col := range colors {
 			g := groups[col]
 			sort.Slice(g, func(a, b int) bool {
-				if g[a].key != g[b].key {
-					return g[a].key < g[b].key
+				if g[a].Key != g[b].Key {
+					return g[a].Key < g[b].Key
 				}
-				return g[a].rank < g[b].rank
+				return g[a].Rank < g[b].Rank
 			})
-			st := newCommState(len(g), fmt.Sprintf("%s/%s.%d", c.state.name, name, col))
+			members := make([]int, len(g))
 			for newRank, r := range g {
-				replies[r.rank] = splitReply{state: st, rank: newRank}
+				members[newRank] = r.Rank
+			}
+			for newRank, r := range g {
+				assigns[r.Rank] = splitAssign{Rank: newRank, Color: col, Members: members}
 			}
 		}
 		parts = make([]any, size)
-		for i := range replies {
-			parts[i] = replies[i]
+		for i := range assigns {
+			parts[i] = assigns[i]
 		}
 	}
-	rep := c.Scatter(0, parts).(splitReply)
-	if rep.state == nil {
+	a := c.Scatter(0, parts).(splitAssign)
+	if a.Rank < 0 {
 		return nil
 	}
+	id := fmt.Sprintf("%s|%d.%d", c.state.id, seq, a.Color)
+	childName := fmt.Sprintf("%s/%s.%d", c.state.name, name, a.Color)
+	members := make([]int, len(a.Members))
+	for i, pr := range a.Members {
+		members[i] = c.state.members[pr]
+	}
+	st := c.state.world.openComm(id, childName, members)
 	// Derived communicators inherit the parent's telemetry recorder and
 	// fault-injection state (same rank, same track) so traffic on the whole
 	// L2/L3/L4 tree is accounted — and faulted.
-	return &Comm{state: rep.state, rank: rep.rank, rec: c.rec, faults: c.faults}
+	return &Comm{state: st, rank: a.Rank, rec: c.rec, faults: c.faults}
 }

@@ -88,9 +88,13 @@ type FaultStats struct {
 	Delayed   uint64
 }
 
-// heldMsg is one delayed message awaiting flush.
+// heldMsg is one delayed message awaiting flush. It remembers the
+// communicator and destination rank (not a mailbox) so the flush routes
+// through the same local/remote seam as the original send — a delayed
+// message to a rank in another process still crosses the wire.
 type heldMsg struct {
-	box *mailbox
+	st  *commState
+	dst int
 	m   message
 	due uint64 // flush when the rank's send index reaches this
 }
@@ -130,7 +134,7 @@ func (f *faultState) eligible(tag int) bool {
 // interceptSend applies the plan to one outgoing message. It returns true
 // when the message was consumed (dropped or held); false means the caller
 // should deliver m as usual (possibly with a corrupted payload).
-func (f *faultState) interceptSend(box *mailbox, m *message, tag int) bool {
+func (f *faultState) interceptSend(st *commState, dst int, m *message, tag int) bool {
 	f.sends++
 	f.flushDue()
 	p := f.plan
@@ -159,7 +163,7 @@ func (f *faultState) interceptSend(box *mailbox, m *message, tag int) bool {
 		if flush <= 0 {
 			flush = 2
 		}
-		f.held = append(f.held, heldMsg{box: box, m: *m, due: f.sends + uint64(flush)})
+		f.held = append(f.held, heldMsg{st: st, dst: dst, m: *m, due: f.sends + uint64(flush)})
 		return true
 	}
 	return false
@@ -181,7 +185,7 @@ func (f *faultState) flushDue() {
 	kept := f.held[:0]
 	for _, hm := range f.held {
 		if f.sends >= hm.due {
-			hm.box.put(hm.m)
+			hm.st.route(hm.dst, hm.m)
 		} else {
 			kept = append(kept, hm)
 		}
@@ -192,7 +196,7 @@ func (f *faultState) flushDue() {
 // flushAll delivers every held message unconditionally.
 func (f *faultState) flushAll() {
 	for _, hm := range f.held {
-		hm.box.put(hm.m)
+		hm.st.route(hm.dst, hm.m)
 	}
 	f.held = nil
 }

@@ -1,0 +1,122 @@
+package mpi
+
+// Regression tests for two point-to-point contract bugs the transport work
+// was built on top of:
+//
+//   - non-overtaking: Irecv requests posted in order on the same (src, tag)
+//     must match incoming messages in that order. The old implementation
+//     parked one goroutine per Irecv, all racing to take from the mailbox, so
+//     a burst of sends could complete the requests in scheduler order.
+//   - goroutine leak: an Irecv that never matched (sender died, message
+//     dropped by fault injection) left its goroutine blocked forever. The
+//     ticket mailbox has no receiver goroutines at all, and world teardown
+//     closes every mailbox, so abandoned requests hold memory only.
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestIrecvNonOvertakingUnderBurst(t *testing.T) {
+	const msgs = 64
+	err := Run(2, func(w *Comm) {
+		if w.Rank() == 0 {
+			reqs := make([]*Request, msgs)
+			for i := range reqs {
+				reqs[i] = w.Irecv(1, 7)
+			}
+			w.Barrier() // all requests pending before the burst starts
+			for i, r := range reqs {
+				if got := r.Wait().(int); got != i {
+					t.Errorf("request %d completed with message %d: Irecv matching overtook posting order", i, got)
+				}
+			}
+		} else {
+			w.Barrier()
+			for i := 0; i < msgs; i++ {
+				w.Send(0, 7, i)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIrecvNonOvertakingWithBufferedBacklog(t *testing.T) {
+	// Half the messages are already buffered when the requests are posted,
+	// the other half arrive while they are pending: posting order must equal
+	// matching order across the buffered/live boundary too.
+	const msgs = 32
+	err := Run(2, func(w *Comm) {
+		if w.Rank() == 0 {
+			w.Barrier() // first half buffered
+			reqs := make([]*Request, msgs)
+			for i := range reqs {
+				reqs[i] = w.Irecv(1, 3)
+			}
+			w.Barrier() // release the second half
+			for i, r := range reqs {
+				if got := r.Wait().(int); got != i {
+					t.Errorf("request %d completed with message %d", i, got)
+				}
+			}
+		} else {
+			for i := 0; i < msgs/2; i++ {
+				w.Send(0, 3, i)
+			}
+			w.Barrier()
+			w.Barrier()
+			for i := msgs / 2; i < msgs; i++ {
+				w.Send(0, 3, i)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbandonedIrecvDoesNotLeakGoroutines(t *testing.T) {
+	leakWorld := func() {
+		// Every flavor of abandonment: a receive nothing was ever sent for,
+		// and a receive whose message fault injection dropped on the floor.
+		plan := FaultPlan{Seed: 7, DropProb: 1.0}
+		err := RunFaulty(4, plan, func(w *Comm) {
+			for i := 0; i < 8; i++ {
+				w.Irecv((w.Rank()+1)%w.Size(), 11) // never sent
+			}
+			w.Send((w.Rank()+3)%w.Size(), 12, w.Rank()) // always dropped
+			w.Irecv((w.Rank()+1)%w.Size(), 12)          // never arrives
+			w.Barrier()
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	leakWorld() // warm up lazily-started runtime machinery
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	for i := 0; i < 25; i++ {
+		leakWorld()
+	}
+
+	// The old implementation leaked one goroutine per abandoned Irecv —
+	// 25 worlds × 4 ranks × 9 abandoned requests ≈ 900 goroutines. Allow a
+	// little scheduler noise, nothing near that.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= baseline+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d across 25 worlds with abandoned Irecvs",
+				baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

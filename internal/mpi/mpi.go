@@ -80,54 +80,153 @@ type message struct {
 	data  any
 }
 
-// mailbox buffers messages destined for one rank of one communicator.
+// recvTicket is one posted receive awaiting a match. Tickets are queued in
+// posting order and satisfied in that order, which is what upholds the MPI
+// non-overtaking rule for concurrent receives on the same (src, tag): the
+// receive posted first matches the message that arrived first. The channel
+// has capacity 1 so delivery never blocks the sender; a closed channel means
+// the mailbox was torn down before a match arrived.
+type recvTicket struct {
+	src, tag int
+	ch       chan message
+}
+
+// mailbox buffers messages destined for one rank of one communicator. Its
+// invariant: no buffered message matches any pending ticket — put hands a
+// message to the oldest matching ticket before buffering, and posting a
+// ticket consumes the oldest matching buffered message before queueing — so
+// matching order equals arrival order on the message side and posting order
+// on the receive side.
 type mailbox struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	msgs []message
+	mu      sync.Mutex
+	msgs    []message
+	tickets []*recvTicket
+	closed  error // non-nil once the world is torn down; see close
 }
 
-func newMailbox() *mailbox {
-	mb := &mailbox{}
-	mb.cond = sync.NewCond(&mb.mu)
-	return mb
+func newMailbox() *mailbox { return &mailbox{} }
+
+func matches(src, tag int, m message) bool {
+	return (src == AnySource || m.src == src) && m.tag == tag
 }
 
+// put delivers m to the oldest matching pending ticket, or buffers it when no
+// receive is posted. Messages arriving after close are dropped — the world
+// is over and nobody can legally receive them.
 func (mb *mailbox) put(m message) {
 	mb.mu.Lock()
+	for i, tk := range mb.tickets {
+		if matches(tk.src, tk.tag, m) {
+			mb.tickets = append(mb.tickets[:i], mb.tickets[i+1:]...)
+			mb.mu.Unlock()
+			tk.ch <- m
+			return
+		}
+	}
+	if mb.closed != nil {
+		mb.mu.Unlock()
+		return
+	}
 	mb.msgs = append(mb.msgs, m)
 	mb.mu.Unlock()
-	mb.cond.Broadcast()
+}
+
+// post registers a receive for (src, tag): if a matching message is already
+// buffered the ticket completes immediately with the oldest one, otherwise it
+// joins the pending queue. On a closed mailbox the ticket's channel is
+// closed, so the eventual Wait unwinds instead of hanging.
+func (mb *mailbox) post(src, tag int) *recvTicket {
+	tk := &recvTicket{src: src, tag: tag, ch: make(chan message, 1)}
+	mb.mu.Lock()
+	for i, m := range mb.msgs {
+		if matches(src, tag, m) {
+			mb.msgs = append(mb.msgs[:i], mb.msgs[i+1:]...)
+			mb.mu.Unlock()
+			tk.ch <- m
+			return tk
+		}
+	}
+	if mb.closed != nil {
+		mb.mu.Unlock()
+		close(tk.ch)
+		return tk
+	}
+	mb.tickets = append(mb.tickets, tk)
+	mb.mu.Unlock()
+	return tk
 }
 
 // take removes and returns the first message matching (src, tag), blocking
-// until one arrives. src == AnySource matches every sender.
+// until one arrives. src == AnySource matches every sender. A fast path
+// serves already-buffered messages without allocating a ticket; on a torn-
+// down mailbox take panics with a WorldLostError rather than blocking
+// forever.
 func (mb *mailbox) take(src, tag int) message {
 	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	for {
-		for i, m := range mb.msgs {
-			if (src == AnySource || m.src == src) && m.tag == tag {
-				mb.msgs = append(mb.msgs[:i], mb.msgs[i+1:]...)
-				return m
-			}
+	for i, m := range mb.msgs {
+		if matches(src, tag, m) {
+			mb.msgs = append(mb.msgs[:i], mb.msgs[i+1:]...)
+			mb.mu.Unlock()
+			return m
 		}
-		mb.cond.Wait()
 	}
+	if mb.closed != nil {
+		cause := mb.closed
+		mb.mu.Unlock()
+		panic(&WorldLostError{Cause: cause})
+	}
+	tk := &recvTicket{src: src, tag: tag, ch: make(chan message, 1)}
+	mb.tickets = append(mb.tickets, tk)
+	mb.mu.Unlock()
+	m, ok := <-tk.ch
+	if !ok {
+		panic(&WorldLostError{Cause: mb.closeCause()})
+	}
+	return m
 }
 
 // tryTake removes and returns the first message matching (src, tag) if one is
-// already buffered; it never blocks.
+// already buffered; it never blocks. Like take it panics once the mailbox is
+// closed, so polling loops unwind on peer loss instead of spinning forever.
 func (mb *mailbox) tryTake(src, tag int) (message, bool) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for i, m := range mb.msgs {
-		if (src == AnySource || m.src == src) && m.tag == tag {
+		if matches(src, tag, m) {
 			mb.msgs = append(mb.msgs[:i], mb.msgs[i+1:]...)
 			return m, true
 		}
 	}
+	if mb.closed != nil {
+		panic(&WorldLostError{Cause: mb.closed})
+	}
 	return message{}, false
+}
+
+// close tears the mailbox down: buffered messages are discarded, pending
+// tickets are cancelled (their channels closed), and later puts are dropped
+// while later takes panic with the given cause. Idempotent; the first cause
+// wins.
+func (mb *mailbox) close(cause error) {
+	mb.mu.Lock()
+	if mb.closed != nil {
+		mb.mu.Unlock()
+		return
+	}
+	mb.closed = cause
+	tks := mb.tickets
+	mb.tickets = nil
+	mb.msgs = nil
+	mb.mu.Unlock()
+	for _, tk := range tks {
+		close(tk.ch)
+	}
+}
+
+func (mb *mailbox) closeCause() error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.closed
 }
 
 // AnySource matches messages from any sender in Recv.
@@ -142,23 +241,6 @@ const (
 	// ReservedTagSpan is the number of distinct reserved tags (salts).
 	ReservedTagSpan = 1 << 20
 )
-
-// commState is the shared part of a communicator: one mailbox per rank.
-type commState struct {
-	size  int
-	boxes []*mailbox
-	name  string
-	level telemetry.Level // MCI level derived from the name; see levelFromName
-}
-
-func newCommState(size int, name string) *commState {
-	s := &commState{size: size, name: name, level: levelFromName(name)}
-	s.boxes = make([]*mailbox, size)
-	for i := range s.boxes {
-		s.boxes[i] = newMailbox()
-	}
-	return s
-}
 
 // Comm is one rank's handle on a communicator. Handles are per-goroutine and
 // must not be shared between ranks.
@@ -255,11 +337,10 @@ func (c *Comm) send(dst, tag int, data any) {
 	}
 	c.clock++
 	m := message{src: c.rank, tag: tag, clock: c.clock, data: data}
-	box := c.state.boxes[dst]
-	if f := c.faults; f != nil && f.interceptSend(box, &m, tag) {
+	if f := c.faults; f != nil && f.interceptSend(c.state, dst, &m, tag) {
 		return // dropped or held for delayed delivery
 	}
-	box.put(m)
+	c.state.route(dst, m)
 }
 
 // Recv blocks until a message with the given source and tag arrives and
@@ -348,7 +429,8 @@ func runRanks(size int, body func(world *Comm), onPanic func(rank int, recovered
 	if size < 1 {
 		return fmt.Errorf("mpi: Run needs size >= 1, got %d", size)
 	}
-	state := newCommState(size, "world")
+	ws := newWorldState(nil, size, -1)
+	state := ws.openComm(worldCommID, "world", identityMembers(size))
 	rankErrs := make([]error, size) // slot per rank: no contention, stable order
 	var wg sync.WaitGroup
 	for r := 0; r < size; r++ {
@@ -372,5 +454,9 @@ func runRanks(size int, body func(world *Comm), onPanic func(rank int, recovered
 		}(r)
 	}
 	wg.Wait()
+	// Tear the world down so abandoned nonblocking requests unwind (panic on
+	// Wait) instead of hanging, and nothing references the mailboxes after
+	// the run.
+	ws.closeAll(errWorldClosed)
 	return errors.Join(rankErrs...)
 }

@@ -4,13 +4,22 @@ package mpi
 // routines keep "at least 6 outstanding messages" in flight per node; the
 // Isend/Irecv/Wait trio is how a solver expresses that overlap. Sends are
 // already eager in this runtime, so Isend completes immediately; Irecv posts
-// a receive that a worker goroutine satisfies, letting the caller compute
-// while the message is in flight.
+// a receive ticket into the mailbox's pending queue — no goroutine per
+// request — and Wait blocks on its completion.
+//
+// Posting order equals matching order: tickets for the same (src, tag) are
+// queued FIFO and the mailbox satisfies the oldest matching ticket first, so
+// two Irecvs posted in order complete with the messages in arrival order —
+// the MPI non-overtaking rule. An abandoned request (never Waited, or its
+// rank killed mid-run) holds no resources beyond its queue slot, which the
+// world teardown reclaims; a Wait after teardown panics with a
+// WorldLostError instead of hanging.
 
 // Request tracks one outstanding nonblocking operation.
 type Request struct {
 	done <-chan message
-	c    *Comm // receiving comm for Irecv (charges the hop clock at completion); nil for sends
+	c    *Comm    // receiving comm for Irecv (charges the hop clock at completion); nil for sends
+	box  *mailbox // receiving mailbox, for the teardown cause; nil for sends
 	data any
 	rcvd bool
 }
@@ -25,25 +34,28 @@ func (c *Comm) Isend(dst, tag int, data any) *Request {
 	return &Request{done: ch}
 }
 
-// Irecv posts a nonblocking receive for (src, tag). The match proceeds on a
-// background goroutine; Wait blocks until the message arrives and returns
-// its payload. The hop clock is charged when Wait (or Test) observes the
+// Irecv posts a nonblocking receive for (src, tag). The match is recorded
+// immediately in the mailbox's ticket queue, so concurrent requests complete
+// in posting order; Wait blocks until the message arrives and returns its
+// payload. The hop clock is charged when Wait (or Test) observes the
 // message, on the caller's goroutine.
 func (c *Comm) Irecv(src, tag int) *Request {
 	checkUserTag(tag)
-	ch := make(chan message, 1)
 	box := c.state.boxes[c.rank]
-	go func() {
-		ch <- box.take(src, tag)
-	}()
-	return &Request{done: ch, c: c}
+	tk := box.post(src, tag)
+	return &Request{done: tk.ch, c: c, box: box}
 }
 
 // Wait blocks until the request completes and returns the received payload
-// (nil for sends). Calling Wait twice returns the same payload.
+// (nil for sends). Calling Wait twice returns the same payload. If the world
+// was torn down before a match arrived, Wait panics with a WorldLostError.
 func (r *Request) Wait() any {
 	if !r.rcvd {
-		r.complete(<-r.done)
+		m, ok := <-r.done
+		if !ok {
+			r.panicLost()
+		}
+		r.complete(m)
 	}
 	return r.data
 }
@@ -55,7 +67,10 @@ func (r *Request) Test() bool {
 		return true
 	}
 	select {
-	case m := <-r.done:
+	case m, ok := <-r.done:
+		if !ok {
+			r.panicLost()
+		}
 		r.complete(m)
 		return true
 	default:
@@ -69,6 +84,16 @@ func (r *Request) complete(m message) {
 	}
 	r.data = m.data
 	r.rcvd = true
+}
+
+func (r *Request) panicLost() {
+	var cause error = errWorldClosed
+	if r.box != nil {
+		if c := r.box.closeCause(); c != nil {
+			cause = c
+		}
+	}
+	panic(&WorldLostError{Cause: cause})
 }
 
 // WaitAll drains a set of requests and returns their payloads in order.

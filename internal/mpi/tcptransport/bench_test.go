@@ -1,0 +1,105 @@
+package tcptransport_test
+
+// Transport benchmarks: the same communication pattern over the in-process
+// mailbox world and the TCP-loopback world, so BENCH_telemetry.json's
+// "transport" section records the wire's cost relative to the in-process
+// baseline (and bench-compare gates the in-process numbers against drift).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"nektarg/internal/mpi"
+	"nektarg/internal/mpi/tcptransport"
+)
+
+// benchWorld runs body across size ranks over the given kind, once.
+func benchWorld(b *testing.B, kind string, size int, body func(w *mpi.Comm)) {
+	b.Helper()
+	switch kind {
+	case "inproc":
+		if err := mpi.Run(size, body); err != nil {
+			b.Fatal(err)
+		}
+	case "tcp":
+		trs, err := tcptransport.Loopback(size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, size)
+		for i, tr := range trs {
+			wg.Add(1)
+			go func(i int, tr *tcptransport.Transport) {
+				defer wg.Done()
+				errs[i] = mpi.RunOn(tr, body)
+			}(i, tr)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTransportP2P measures a 64-double ping-pong between two ranks;
+// one op is one round trip (send + matching receive each way).
+func BenchmarkTransportP2P(b *testing.B) {
+	for _, kind := range []string{"inproc", "tcp"} {
+		b.Run(kind, func(b *testing.B) {
+			payload := make([]float64, 64)
+			benchWorld(b, kind, 2, func(w *mpi.Comm) {
+				w.Barrier() // exclude world setup / rendezvous from the timing
+				if w.Rank() == 0 {
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						w.Send(1, 1, payload)
+						w.Recv(1, 2)
+					}
+					b.StopTimer()
+				} else {
+					for i := 0; i < b.N; i++ {
+						got := w.Recv(0, 1)
+						w.Send(0, 2, got)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkTransportBcast measures a 64-double binomial broadcast over 4
+// ranks; one op is one completed Bcast on every rank. The root never blocks
+// in a broadcast (sends are eager), so a free-running loop lets it sprint
+// arbitrarily far ahead of the receivers and the measurement degenerates into
+// backlog-drain cost; a barrier every few dozen ops bounds the run-ahead at
+// negligible amortized cost.
+func BenchmarkTransportBcast(b *testing.B) {
+	for _, kind := range []string{"inproc", "tcp"} {
+		b.Run(fmt.Sprintf("%s/p=4", kind), func(b *testing.B) {
+			payload := make([]float64, 64)
+			benchWorld(b, kind, 4, func(w *mpi.Comm) {
+				w.Barrier()
+				if w.Rank() == 0 {
+					b.ResetTimer()
+				}
+				for i := 0; i < b.N; i++ {
+					var data any
+					if w.Rank() == 0 {
+						data = payload
+					}
+					w.Bcast(0, data)
+					if i%64 == 63 {
+						w.Barrier()
+					}
+				}
+				if w.Rank() == 0 {
+					b.StopTimer()
+				}
+			})
+		})
+	}
+}

@@ -6,8 +6,8 @@
 # Produces BENCH_telemetry.json in the repo root (override the path with
 # OUT=..., used by make bench-compare): a single JSON document with the
 # scaling tables (as emitted by `go run ./cmd/scaling -json`) plus raw
-# `go test -bench` transcripts for the comm, telemetry, monitor, checkpoint
-# and in-situ suites.
+# `go test -bench` transcripts for the comm, telemetry, monitor, checkpoint,
+# in-situ and transport suites.
 #
 # Usage: scripts/bench.sh   (or: make bench-telemetry)
 set -eu
@@ -16,9 +16,12 @@ cd "$(dirname "$0")/.."
 out=${OUT:-BENCH_telemetry.json}
 
 echo "== comm benchmarks (collectives + MCI exchange) =="
+# -count=3: at 30 fixed iterations these numbers swing with scheduler noise;
+# benchjson keeps the min of duplicate samples, so three counts give the gate
+# a stable floor on both sides of the comparison.
 comm=$(go test -run '^$' \
 	-bench 'BenchmarkBcast|BenchmarkAllreduce|BenchmarkAllgather|BenchmarkBarrier|BenchmarkMCIExchange' \
-	-benchtime=30x . 2>&1)
+	-benchtime=30x -count=3 . 2>&1)
 printf '%s\n' "$comm"
 
 echo "== telemetry overhead benchmarks (disabled vs enabled path) =="
@@ -37,12 +40,16 @@ echo "== in-situ benchmarks (publish/assemble + disabled hook) =="
 insitu=$(go test -run '^$' -bench 'BenchmarkInsitu' -benchmem ./internal/insitu ./internal/core 2>&1)
 printf '%s\n' "$insitu"
 
+echo "== transport benchmarks (in-process vs TCP loopback, p2p + Bcast) =="
+transport=$(go test -run '^$' -bench 'BenchmarkTransport' -benchmem ./internal/mpi/tcptransport 2>&1)
+printf '%s\n' "$transport"
+
 echo "== scaling tables (cmd/scaling -json) =="
 tables=$(go run ./cmd/scaling -json)
 
 # Assemble the bundle without extra tooling: the bench transcripts are
 # embedded as JSON string arrays (one element per line) via go run so we
 # need no jq/python in the container.
-COMM="$comm" TELE="$tele" MONITOR="$mon" CKPT="$ckpt" INSITU="$insitu" TABLES="$tables" go run ./scripts/benchjson >"$out"
+COMM="$comm" TELE="$tele" MONITOR="$mon" CKPT="$ckpt" INSITU="$insitu" TRANSPORT="$transport" TABLES="$tables" go run ./scripts/benchjson >"$out"
 
 echo "wrote $out"

@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
@@ -73,7 +74,7 @@ func parseBench(out string) (lines []string, samples []Sample) {
 }
 
 // sections is the stable order of bench transcript sections in a bundle.
-var sections = []string{"comm", "telemetry", "monitor", "checkpoint", "insitu"}
+var sections = []string{"comm", "telemetry", "monitor", "checkpoint", "insitu", "transport"}
 
 func bundle() {
 	env := map[string]string{
@@ -82,6 +83,7 @@ func bundle() {
 		"monitor":    "MONITOR",
 		"checkpoint": "CKPT",
 		"insitu":     "INSITU",
+		"transport":  "TRANSPORT",
 	}
 	doc := map[string]any{}
 	for _, sec := range sections {
@@ -141,6 +143,68 @@ func loadNsPerOp(path string) (map[string]float64, error) {
 	return out, nil
 }
 
+// compareResult summarizes one bundle-vs-bundle comparison.
+type compareResult struct {
+	compared    int
+	missing     int // only in the old bundle
+	newOnly     int // only in the new bundle
+	unbaselined int // old value zero/negative: delta undefined
+	regressions int
+}
+
+// compareNs writes the comparison table to w and tallies the verdicts; the
+// caller decides the exit policy.
+func compareNs(w io.Writer, oldNs, newNs map[string]float64, threshold float64) compareResult {
+	keys := make([]string, 0, len(oldNs))
+	for k := range oldNs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var res compareResult
+	fmt.Fprintf(w, "%-64s %12s %12s %8s\n", "benchmark (section/name, ns/op)", "old", "new", "delta")
+	for _, k := range keys {
+		nv, ok := newNs[k]
+		if !ok {
+			res.missing++
+			continue
+		}
+		res.compared++
+		ov := oldNs[k]
+		if ov <= 0 {
+			// A zero-ns/op baseline (stubbed run, truncated transcript) made
+			// the delta Inf/NaN and the row meaningless; flag it instead of
+			// letting it slide through the gate.
+			res.unbaselined++
+			fmt.Fprintf(w, "%-64s %12.1f %12.1f %8s  << NO BASELINE\n", k, ov, nv, "n/a")
+			continue
+		}
+		delta := nv/ov - 1
+		mark := ""
+		if delta > threshold {
+			mark = "  << REGRESSION"
+			res.regressions++
+		}
+		fmt.Fprintf(w, "%-64s %12.1f %12.1f %+7.1f%%%s\n", k, ov, nv, 100*delta, mark)
+	}
+
+	// Benchmarks only in the new bundle are expected when a PR adds a
+	// section, but they must be visible: a silent no-op here once hid every
+	// new benchmark from the report.
+	var newOnly []string
+	for k := range newNs {
+		if _, ok := oldNs[k]; !ok {
+			newOnly = append(newOnly, k)
+		}
+	}
+	sort.Strings(newOnly)
+	for _, k := range newOnly {
+		fmt.Fprintf(w, "%-64s %12s %12.1f %8s  (new)\n", k, "-", newNs[k], "")
+	}
+	res.newOnly = len(newOnly)
+	return res
+}
+
 func compare(oldPath, newPath string, threshold float64) {
 	oldNs, err := loadNsPerOp(oldPath)
 	if err != nil {
@@ -151,37 +215,17 @@ func compare(oldPath, newPath string, threshold float64) {
 		log.Fatal(err)
 	}
 
-	keys := make([]string, 0, len(oldNs))
-	for k := range oldNs {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-
-	var regressions, compared, missing int
-	fmt.Printf("%-64s %12s %12s %8s\n", "benchmark (section/name, ns/op)", "old", "new", "delta")
-	for _, k := range keys {
-		nv, ok := newNs[k]
-		if !ok {
-			missing++
-			continue
-		}
-		compared++
-		ov := oldNs[k]
-		delta := nv/ov - 1
-		mark := ""
-		if delta > threshold {
-			mark = "  << REGRESSION"
-			regressions++
-		}
-		fmt.Printf("%-64s %12.1f %12.1f %+7.1f%%%s\n", k, ov, nv, 100*delta, mark)
-	}
-	fmt.Printf("\ncompared %d benchmarks (%d only in %s), threshold +%.0f%%\n",
-		compared, missing, oldPath, 100*threshold)
-	if compared == 0 {
+	res := compareNs(os.Stdout, oldNs, newNs, threshold)
+	fmt.Printf("\ncompared %d benchmarks (%d only in %s, %d new), threshold +%.0f%%\n",
+		res.compared, res.missing, oldPath, res.newOnly, 100*threshold)
+	if res.compared == 0 {
 		log.Fatal("no common ns/op samples between the two bundles")
 	}
-	if regressions > 0 {
-		log.Fatalf("%d regression(s) beyond +%.0f%% ns/op", regressions, 100*threshold)
+	if res.unbaselined > 0 {
+		log.Fatalf("%d benchmark(s) have a zero/negative ns/op baseline; regenerate the old bundle", res.unbaselined)
+	}
+	if res.regressions > 0 {
+		log.Fatalf("%d regression(s) beyond +%.0f%% ns/op", res.regressions, 100*threshold)
 	}
 	fmt.Println("no regressions")
 }

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCompareNsRegressionDetection(t *testing.T) {
+	old := map[string]float64{"comm/BenchmarkP2P-8": 100}
+	new_ := map[string]float64{"comm/BenchmarkP2P-8": 130}
+	var sb strings.Builder
+	res := compareNs(&sb, old, new_, 0.25)
+	if res.regressions != 1 || res.compared != 1 {
+		t.Fatalf("got %+v, want 1 regression of 1 compared", res)
+	}
+	if !strings.Contains(sb.String(), "<< REGRESSION") {
+		t.Fatalf("regression not marked:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	new_["comm/BenchmarkP2P-8"] = 120 // within +25%
+	if res := compareNs(&sb, old, new_, 0.25); res.regressions != 0 {
+		t.Fatalf("+20%% flagged as regression: %+v", res)
+	}
+}
+
+func TestCompareNsZeroBaselineIsFlaggedNotInf(t *testing.T) {
+	// The old code computed nv/ov - 1 unguarded: a 0 ns/op baseline turned
+	// the delta into +Inf and the row into garbage. It must now be tallied
+	// as unbaselined (a gate failure) and never reach the regression count.
+	old := map[string]float64{
+		"monitor/BenchmarkStub-8": 0,
+		"comm/BenchmarkOK-8":      50,
+	}
+	new_ := map[string]float64{
+		"monitor/BenchmarkStub-8": 42,
+		"comm/BenchmarkOK-8":      55,
+	}
+	var sb strings.Builder
+	res := compareNs(&sb, old, new_, 0.25)
+	if res.unbaselined != 1 {
+		t.Fatalf("zero baseline not counted: %+v", res)
+	}
+	if res.regressions != 0 {
+		t.Fatalf("zero baseline leaked into regressions: %+v", res)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "NO BASELINE") {
+		t.Fatalf("zero baseline not flagged:\n%s", out)
+	}
+	for _, bad := range []string{"Inf", "NaN"} {
+		if strings.Contains(out, bad) {
+			t.Fatalf("output contains %s:\n%s", bad, out)
+		}
+	}
+}
+
+func TestCompareNsReportsNewOnlyBenchmarks(t *testing.T) {
+	// New-only entries used to be silently dropped (the loop iterated old
+	// keys only); a freshly added section never showed up in the report.
+	old := map[string]float64{"comm/BenchmarkOK-8": 50}
+	new_ := map[string]float64{
+		"comm/BenchmarkOK-8":               51,
+		"transport/BenchmarkTransportP2P":  1000,
+		"transport/BenchmarkTransportMore": 2000,
+	}
+	var sb strings.Builder
+	res := compareNs(&sb, old, new_, 0.25)
+	if res.newOnly != 2 {
+		t.Fatalf("new-only count %d, want 2", res.newOnly)
+	}
+	out := sb.String()
+	for _, name := range []string{"transport/BenchmarkTransportP2P", "transport/BenchmarkTransportMore"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("new-only benchmark %s missing from report:\n%s", name, out)
+		}
+	}
+}
+
+func TestParseBenchSamples(t *testing.T) {
+	lines, samples := parseBench("goos: linux\nBenchmarkX-8   30   51042 ns/op   1234 B/op   7 allocs/op\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines %d", len(lines))
+	}
+	if len(samples) != 3 {
+		t.Fatalf("samples %d, want 3", len(samples))
+	}
+	if samples[0].Unit != "ns/op" || math.Abs(samples[0].Value-51042) > 0 {
+		t.Fatalf("first sample %+v", samples[0])
+	}
+}

@@ -29,3 +29,13 @@ go test -run 'TestFaultKill|TestRecoveryFromInjectedRankKill|TestRestartDetermin
 # deliberately stalled observer must not inflate solver step time.
 go test -race -run 'TestCoupledConservation|TestStreamConservation|TestQueueConservation|TestAssemblerCausalConsistency' -count=1 ./internal/insitu
 go test -run 'TestInsituNonBlockingStall' -count=1 ./internal/insitu
+
+# Transport acceptance (PR 6). The two-transport conformance suite pins the
+# point-to-point/collective/fault contract as identical over the in-process
+# mailboxes and TCP loopback (the ./internal/mpi/... race run above already
+# covers the tcptransport package); the Irecv regressions pin FIFO matching
+# and goroutine-free abandonment; the distributed test kills a real OS
+# process mid-run and requires a bit-identical auto-resume.
+go test -race -run 'TestConformance|TestTCPPeerDeath' -count=1 ./internal/mpi/tcptransport
+go test -race -run 'TestIrecvNonOvertaking|TestAbandonedIrecv' -count=1 ./internal/mpi
+go test -run 'TestDistributedRecoverySurvivesProcessKill' -count=1 ./internal/core
