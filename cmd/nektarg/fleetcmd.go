@@ -1,0 +1,92 @@
+package main
+
+// The observability subcommands: offline companions to the fleet plane.
+// `nektarg trace-merge` stitches per-process Chrome traces into one causally
+// ordered timeline; `nektarg events` prints a run-event journal. Both operate
+// on files a finished (or killed) run left behind, so they take no simulation
+// flags and dispatch before the main flag set parses.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"nektarg/internal/fleet"
+)
+
+// runTraceMerge implements `nektarg trace-merge -o out.json trace1.json ...`.
+func runTraceMerge(args []string) {
+	fs := flag.NewFlagSet("trace-merge", flag.ExitOnError)
+	out := fs.String("o", "trace-merged.json", "merged Chrome trace output path")
+	strict := fs.Bool("strict", false, "exit nonzero if any hop-order violation survives alignment")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: nektarg trace-merge [-o out.json] [-strict] trace1.json trace2.json ...\n\n"+
+			"Merges per-process Chrome traces (written by a -transport tcp run with\n"+
+			"-trace-out) into one causally ordered timeline: files are aligned so that\n"+
+			"within each world incarnation no span endpoint precedes a hop-clock-smaller\n"+
+			"endpoint of another process.\n\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if fs.NArg() == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := fleet.MergeTraceFiles(f, fs.Args())
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("merged %d files (%d spans) into %s\n", rep.Files, rep.Spans, *out)
+	for i, lbl := range rep.Labels {
+		fmt.Printf("  pid %d: %-24s offset %+.3f ms\n", i, lbl, rep.OffsetsUs[fs.Arg(i)]/1e3)
+	}
+	if rep.Infeasible {
+		fmt.Println("warning: hop-order constraints did not converge (irreconcilable clock skew); offsets are best-effort")
+	}
+	if rep.Violations > 0 {
+		fmt.Printf("warning: %d hop-order violation(s) remain after alignment\n", rep.Violations)
+		if *strict {
+			os.Exit(1)
+		}
+	}
+}
+
+// runEvents implements `nektarg events [-json] <journal>`.
+func runEvents(args []string) {
+	fs := flag.NewFlagSet("events", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "print events as JSON instead of a table")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: nektarg events [-json] <journal file>\n\n"+
+			"Prints a run-event journal (written at <checkpoint-dir>/journal.nkj):\n"+
+			"incarnation starts, world losses, resume agreements, checkpoint commits,\n"+
+			"watchdog transitions, flight dumps and in-situ drop milestones.\n\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	events, err := fleet.ReadJournal(fs.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(events); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fleet.WriteEventsText(os.Stdout, events)
+}

@@ -1,0 +1,186 @@
+package main
+
+// Fleet-plane wiring for a running simulation: the run-event journal, the
+// aggregator endpoint (-fleet-addr), the status publisher (-fleet-publish),
+// the transport counter holder, the in-situ drop ledger and the
+// per-incarnation trace writer. Everything here follows the nil-is-disabled
+// idiom: wireFleet always returns a usable *fleetWire, and each leg that was
+// not requested stays nil inside it, so the hot-path hooks cost one nil check.
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"nektarg/internal/fleet"
+	"nektarg/internal/monitor"
+	"nektarg/internal/telemetry"
+)
+
+// fleetOpts bundles the fleet-plane flags.
+type fleetOpts struct {
+	addr    string // -fleet-addr: serve /cluster/* and /events
+	publish string // -fleet-publish: aggregator base URL to POST status to
+	stride  int    // -fleet-stride: publish every N exchanges
+	hold    string // -fleet-hold: keep serving after the run until this file exists
+}
+
+// fleetWire is the assembled fleet plane of one process.
+type fleetWire struct {
+	journal *fleet.Journal
+	srv     *fleet.Server
+	pub     *fleet.Publisher
+	stopPub func()
+	drops   *fleet.DropLedger
+	traces  *fleet.TraceWriter
+	tcp     *fleet.TCPStats
+	hold    string
+	logger  *slog.Logger
+}
+
+// wireFleet assembles the fleet plane. The journal opens whenever
+// checkpointing is on (it lives in the checkpoint directory and records the
+// same run the store snapshots); aggregator, publisher and trace writer each
+// need their flag. topts is mutated: with a TCP transport the combined
+// -trace-out file is replaced by per-incarnation files the trace writer
+// maintains (a single file written at exit would vanish with a killed
+// process and mix spans of different hop-clock eras).
+func wireFleet(fopts fleetOpts, topts *telemetryOpts, ropts restartOpts,
+	reg *telemetry.Registry, mon *monitor.Monitor, ist *insituState) (*fleetWire, error) {
+	fw := &fleetWire{hold: fopts.hold, logger: ropts.logger}
+
+	rank, kind := 0, "inproc"
+	if t := ropts.transport; t != nil {
+		rank, kind = t.Rank, t.Kind
+	}
+
+	if ropts.dir != "" {
+		if err := os.MkdirAll(ropts.dir, 0o755); err != nil {
+			return nil, err
+		}
+		j, err := fleet.OpenJournal(filepath.Join(ropts.dir, "journal.nkj"), rank, kind)
+		if err != nil {
+			return nil, err
+		}
+		fw.journal = j
+	}
+
+	// Watchdog severity transitions mirror into the journal; the volume is
+	// bounded because Health only emits on transitions.
+	if mon != nil && fw.journal != nil {
+		j := fw.journal
+		mon.Health().OnEvent(func(e monitor.Event) {
+			j.Record(fleet.EventWatchdog, map[string]any{
+				"watchdog": e.Watchdog,
+				"track":    e.Track,
+				"severity": e.Severity.String(),
+				"message":  e.Message,
+				"value":    e.Value,
+			})
+		})
+	}
+
+	if fopts.addr != "" {
+		agg := fleet.NewAggregator()
+		if fw.journal != nil {
+			agg.ObserveJournal(fw.journal)
+		}
+		srv, err := agg.Serve(fopts.addr, "nektarg", fw.journal)
+		if err != nil {
+			return nil, err
+		}
+		fw.srv = srv
+		ropts.logger.Info("fleet aggregator serving",
+			"url", srv.URL(),
+			"metrics", srv.URL()+"/cluster/metrics",
+			"healthz", srv.URL()+"/cluster/healthz",
+			"events", srv.URL()+"/events")
+	}
+
+	if ropts.transport != nil {
+		fw.tcp = &fleet.TCPStats{}
+		if mon != nil {
+			mon.AddStatSource(fw.tcp.Source())
+		}
+	}
+
+	if fopts.publish != "" {
+		if mon == nil {
+			return nil, fmt.Errorf("nektarg: -fleet-publish requires -monitor-addr (the published status carries the monitor's snapshots and verdict)")
+		}
+		fw.pub = fleet.NewPublisher(fopts.publish, mon, fmt.Sprintf("rank%d", rank), []int{rank}, kind, fw.journal)
+		fw.pub.SetStride(fopts.stride)
+		// The ticker keeps the aggregator's view fresh through windows with
+		// no exchanges — rendezvous, rollback, a peer's outage.
+		fw.stopPub = fw.pub.Start(time.Second)
+		fw.pub.PublishNow() //nolint:errcheck // best-effort; the ticker retries
+	}
+
+	if ist != nil && fw.journal != nil {
+		q := ist.queue
+		fw.drops = fleet.NewDropLedger(fw.journal, func() (int64, int64, int64) {
+			qs := q.Stats()
+			return qs.Published, qs.Delivered, qs.Dropped
+		})
+	}
+
+	if ropts.transport != nil && reg != nil && topts.traceOut != "" {
+		dir := filepath.Dir(topts.traceOut)
+		base := strings.TrimSuffix(filepath.Base(topts.traceOut), filepath.Ext(topts.traceOut))
+		fw.traces = fleet.NewTraceWriter(dir, base, rank, kind, reg.Recorders, fw.journal)
+		topts.traceOut = "" // report() must not also write a combined file
+	}
+
+	return fw, nil
+}
+
+// journalOrNil unwraps the journal, tolerating a nil wire.
+func (fw *fleetWire) journalOrNil() *fleet.Journal {
+	if fw == nil {
+		return nil
+	}
+	return fw.journal
+}
+
+// afterExchange is the per-exchange hook: publish the status, check the drop
+// ledger, rewrite the incarnation's trace file. Every leg is nil-safe, so the
+// drivers call it unconditionally.
+func (fw *fleetWire) afterExchange(exchange int) {
+	if fw == nil {
+		return
+	}
+	fw.pub.OnExchange(exchange)
+	fw.drops.Check()
+	if err := fw.traces.WriteNow(); err != nil && fw.logger != nil {
+		fw.logger.Warn("trace write failed", "err", err.Error())
+	}
+}
+
+// close publishes the final status, honors -fleet-hold, and shuts the
+// aggregator and journal down.
+func (fw *fleetWire) close() {
+	if fw == nil {
+		return
+	}
+	if fw.stopPub != nil {
+		fw.stopPub()
+	}
+	fw.pub.PublishNow() //nolint:errcheck // best-effort final state
+	if fw.hold != "" && fw.srv != nil {
+		fw.logger.Info("holding fleet endpoints open", "until", fw.hold)
+		deadline := time.Now().Add(60 * time.Second)
+		for time.Now().Before(deadline) {
+			if _, err := os.Stat(fw.hold); err == nil {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	if fw.srv != nil {
+		fw.srv.Close() //nolint:errcheck // exiting anyway
+	}
+	fw.journal.Close() //nolint:errcheck // exiting anyway
+}

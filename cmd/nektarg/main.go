@@ -14,7 +14,22 @@
 //	                     [-max-restarts N] [-kill-at N] [-flight-max N]
 //	                     [-insitu] [-insitu-stride N] [-insitu-policy P]
 //	                     [-insitu-dir DIR] [-insitu-keep K]
-//	                     [-transport tcp -rank N -peers H:P,H:P,...] [-version]
+//	                     [-transport tcp -rank N -peers H:P,H:P,...]
+//	                     [-fleet-addr :9190] [-fleet-publish URL] [-version]
+//	go run ./cmd/nektarg trace-merge [-o out.json] [-strict] trace1.json trace2.json ...
+//	go run ./cmd/nektarg events [-json] <checkpoint-dir>/journal.nkj
+//
+// With -checkpoint-dir the run additionally keeps an append-only run-event
+// journal at <dir>/journal.nkj — incarnation starts, world losses, resume
+// agreements, checkpoint commits, watchdog transitions, flight dumps, in-situ
+// drop milestones — readable with the events subcommand or GET /events on the
+// fleet aggregator. With -fleet-addr one process (conventionally rank 0)
+// serves the cluster observability plane: every process pointed at it with
+// -fleet-publish contributes its telemetry/health status, and the aggregator
+// rolls them up into /cluster/metrics, /cluster/healthz (503 while the world
+// is broken) and /cluster/imbalance. Per-process Chrome traces from a TCP
+// world (-trace-out) are written per incarnation and stitched into one
+// causally ordered timeline by the trace-merge subcommand.
 //
 // With -monitor-addr the run serves live Prometheus metrics, a JSON health
 // verdict and pprof endpoints while it executes (see internal/monitor);
@@ -63,6 +78,7 @@ import (
 	"nektarg/internal/config"
 	"nektarg/internal/core"
 	"nektarg/internal/dpd"
+	"nektarg/internal/fleet"
 	"nektarg/internal/geometry"
 	"nektarg/internal/insitu"
 	"nektarg/internal/monitor"
@@ -290,9 +306,17 @@ func (f transportFlags) merge(fromCfg *config.Transport) (*config.Transport, err
 // resuming from the newest checkpoint first.
 func driveExchanges(meta *core.Metasolver, networks map[string]*nektar1d.Network,
 	exchanges int, onExchange func(int) error,
-	ropts restartOpts, reg *telemetry.Registry, mon *monitor.Monitor) error {
+	ropts restartOpts, reg *telemetry.Registry, mon *monitor.Monitor, fw *fleetWire) error {
 	if ropts.transport != nil && ropts.dir == "" {
 		return errors.New("nektarg: -transport tcp requires -checkpoint-dir (each process rolls back from its own store after a failure)")
+	}
+	// Every driver runs the fleet per-exchange hook after the scenario's own
+	// diagnostics; each leg inside is nil when not configured.
+	base := onExchange
+	onExchange = func(e int) error {
+		err := base(e)
+		fw.afterExchange(e)
+		return err
 	}
 	if ropts.dir == "" {
 		for meta.Exchanges < exchanges {
@@ -310,6 +334,7 @@ func driveExchanges(meta *core.Metasolver, networks map[string]*nektar1d.Network
 		Networks: networks,
 		Store:    &checkpoint.Store{Dir: ropts.dir},
 		Every:    ropts.every,
+		Journal:  fw.journalOrNil(),
 		Log:      ropts.logger,
 	}
 	if ropts.resume && ropts.transport == nil {
@@ -340,6 +365,11 @@ func driveExchanges(meta *core.Metasolver, networks map[string]*nektar1d.Network
 	if ropts.flightMax > 0 {
 		flight.SetLimit(ropts.flightMax)
 	}
+	if j := fw.journalOrNil(); j != nil {
+		flight.OnDump(func(path, reason string) {
+			j.Record(fleet.EventFlightDump, map[string]any{"path": path, "reason": reason})
+		})
+	}
 	if t := ropts.transport; t != nil {
 		rendez := time.Duration(t.RendezvousSec) * time.Second
 		if rendez <= 0 {
@@ -347,14 +377,24 @@ func driveExchanges(meta *core.Metasolver, networks map[string]*nektar1d.Network
 		}
 		ropts.logger.Info("joining tcp world",
 			"rank", t.Rank, "size", len(t.Peers), "listen", t.Peers[t.Rank])
+		dial := func() (*tcptransport.Transport, error) {
+			return tcptransport.New(t.Rank, t.Peers, tcptransport.Options{RendezvousTimeout: rendez})
+		}
+		var mdial func() (mpi.Transport, error)
+		if fw != nil && fw.tcp != nil {
+			// The holder folds each dead incarnation's counters into a
+			// cumulative base, so redials don't reset the transport stats.
+			mdial = fw.tcp.Wrap(dial)
+		} else {
+			mdial = func() (mpi.Transport, error) { return dial() }
+		}
 		return core.RunDistributed(ck, exchanges, core.DistributedOptions{
-			Dial: func() (mpi.Transport, error) {
-				return tcptransport.New(t.Rank, t.Peers, tcptransport.Options{RendezvousTimeout: rendez})
-			},
+			Dial:        mdial,
 			MaxRestarts: ropts.maxRestarts,
 			Flight:      flight,
 			Health:      health,
 			OnExchange:  func(_ *mpi.Comm, e int) error { return onExchange(e) },
+			Journal:     fw.journalOrNil(),
 			Log:         ropts.logger,
 		})
 	}
@@ -423,6 +463,18 @@ func writeMemProfile(path string) {
 }
 
 func main() {
+	// Observability subcommands run on files, not flags — dispatch before the
+	// simulation flag set parses.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "trace-merge":
+			runTraceMerge(os.Args[2:])
+			return
+		case "events":
+			runEvents(os.Args[2:])
+			return
+		}
+	}
 	nPatches := flag.Int("patches", 2, "number of overlapping continuum patches")
 	exchanges := flag.Int("exchanges", 6, "coupling exchange periods")
 	nParticles := flag.Int("particles", 2400, "DPD solvent particles")
@@ -451,6 +503,10 @@ func main() {
 	insituPolicy := flag.String("insitu-policy", "drop-oldest", "queue drop policy: drop-oldest|drop-newest")
 	insituDir := flag.String("insitu-dir", "", "rolling VTK time-series directory (empty = in-memory frames only)")
 	insituKeep := flag.Int("insitu-keep", insitu.DefaultKeep, "frames kept in the rolling VTK series")
+	fleetAddr := flag.String("fleet-addr", "", "serve the fleet aggregation endpoints (/cluster/metrics, /cluster/healthz, /cluster/imbalance, /events) on this address (e.g. :9190)")
+	fleetPublish := flag.String("fleet-publish", "", "base URL of a fleet aggregator to publish this process's status to (e.g. http://127.0.0.1:9190; requires -monitor-addr)")
+	fleetStride := flag.Int("fleet-stride", 1, "publish to the fleet aggregator every N exchanges")
+	fleetHold := flag.String("fleet-hold", "", "after the run, keep serving -fleet-addr until this file exists (for external scrapers)")
 	transportKind := flag.String("transport", "", "rank transport: inproc (default) or tcp — one OS process per rank; tcp needs -rank, -peers and -checkpoint-dir")
 	rankFlag := flag.Int("rank", -1, "this process's world rank (with -transport tcp)")
 	peersFlag := flag.String("peers", "", "comma-separated host:port for every rank in rank order (with -transport tcp); this process listens at its own entry")
@@ -482,11 +538,12 @@ func main() {
 	ropts := restartOpts{dir: *ckptDir, every: *ckptEvery, resume: *resume,
 		maxRestarts: *maxRestarts, killAt: *killAt, flightMax: *flightMax, logger: logger}
 	tflags := transportFlags{kind: *transportKind, rank: *rankFlag, peers: *peersFlag, rendez: *rendezSec}
+	fopts := fleetOpts{addr: *fleetAddr, publish: *fleetPublish, stride: *fleetStride, hold: *fleetHold}
 	stopCPU := startCPUProfile(*cpuProfile)
 	defer stopCPU()
 	defer writeMemProfile(*memProfile)
 	if *configPath != "" {
-		runFromConfig(*configPath, *exchanges, *vtkDir, topts, ropts, tflags)
+		runFromConfig(*configPath, *exchanges, *vtkDir, topts, ropts, tflags, fopts)
 		return
 	}
 	tr, err := tflags.merge(nil)
@@ -590,6 +647,11 @@ func main() {
 	if mon != nil && ist != nil {
 		mon.SetSnapshotSource(ist.obs)
 	}
+	fw, err := wireFleet(fopts, &topts, ropts, reg, mon, ist)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fw.close()
 
 	dof := 0
 	for _, p := range patches {
@@ -629,8 +691,9 @@ func main() {
 		}
 		return nil
 	}
-	if err := driveExchanges(meta, networks, *exchanges, onExchange, ropts, reg, mon); err != nil {
+	if err := driveExchanges(meta, networks, *exchanges, onExchange, ropts, reg, mon, fw); err != nil {
 		logger.Error("run failed", "err", err)
+		fw.close()
 		os.Exit(1)
 	}
 
@@ -673,7 +736,7 @@ func main() {
 }
 
 // runFromConfig builds and drives a simulation from a declarative JSON file.
-func runFromConfig(path string, exchanges int, vtkDir string, topts telemetryOpts, ropts restartOpts, tflags transportFlags) {
+func runFromConfig(path string, exchanges int, vtkDir string, topts telemetryOpts, ropts restartOpts, tflags transportFlags, fopts fleetOpts) {
 	logger := topts.logger
 	f, err := os.Open(path)
 	if err != nil {
@@ -721,6 +784,11 @@ func runFromConfig(path string, exchanges int, vtkDir string, topts telemetryOpt
 	if mon != nil && ist != nil {
 		mon.SetSnapshotSource(ist.obs)
 	}
+	fw, err := wireFleet(fopts, &topts, ropts, reg, mon, ist)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fw.close()
 	killed := false
 	onExchange := func(e int) error {
 		attrs := []any{"exchange", e, "max_div", maxDivergence(b.Meta.Patches)}
@@ -739,8 +807,9 @@ func runFromConfig(path string, exchanges int, vtkDir string, topts telemetryOpt
 		}
 		return nil
 	}
-	if err := driveExchanges(b.Meta, nil, exchanges, onExchange, ropts, reg, mon); err != nil {
+	if err := driveExchanges(b.Meta, nil, exchanges, onExchange, ropts, reg, mon, fw); err != nil {
 		logger.Error("run failed", "err", err)
+		fw.close()
 		os.Exit(1)
 	}
 	if vtkDir != "" {

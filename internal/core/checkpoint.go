@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"nektarg/internal/checkpoint"
+	"nektarg/internal/fleet"
 	"nektarg/internal/nektar1d"
 )
 
@@ -138,6 +139,9 @@ type Checkpointer struct {
 	// Every is the checkpoint period in completed exchanges; <= 0 disables
 	// periodic writes (Checkpoint can still be called manually).
 	Every int
+	// Journal, when non-nil, receives a checkpoint-commit record for every
+	// successfully written bundle.
+	Journal *fleet.Journal
 	// Log is the optional structured logger.
 	Log *slog.Logger
 }
@@ -152,6 +156,10 @@ func (ck *Checkpointer) Checkpoint() (string, error) {
 	if err != nil {
 		return "", err
 	}
+	ck.Journal.Record(fleet.EventCheckpoint, map[string]any{
+		"path":     path,
+		"exchange": c.Exchanges,
+	})
 	if ck.Log != nil {
 		ck.Log.Info("checkpoint written", "path", path, "exchange", c.Exchanges)
 	}

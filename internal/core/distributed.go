@@ -24,6 +24,7 @@ import (
 	"log/slog"
 	"time"
 
+	"nektarg/internal/fleet"
 	"nektarg/internal/monitor"
 	"nektarg/internal/mpi"
 )
@@ -49,6 +50,12 @@ type DistributedOptions struct {
 	// communicator — this is where a scenario does its cross-process
 	// coupling traffic. It executes inside the recovery envelope.
 	OnExchange func(world *mpi.Comm, exchange int) error
+	// Journal, when non-nil, receives the run's lineage: incarnation starts,
+	// world losses (kill -9 detections) vs. failures, resume-point
+	// agreements, recoveries, and the final run-complete/run-failed record.
+	// Recording an incarnation start bumps the journal's incarnation id,
+	// which also labels flight dumps (see monitor.FlightRecorder.SetRunLabels).
+	Journal *fleet.Journal
 	// Log is the optional structured logger.
 	Log *slog.Logger
 }
@@ -83,6 +90,13 @@ func RunDistributed(ck *Checkpointer, exchanges int, opt DistributedOptions) err
 	restarts := 0
 	highWater := -1
 	for {
+		opt.Journal.Record(fleet.EventIncarnationStart, map[string]any{
+			"exchange": ck.Meta.Exchanges,
+			"restart":  restarts,
+		})
+		// Label the black box with the incarnation that would crash into it.
+		opt.Flight.SetRunLabels(opt.Journal.Incarnation(), opt.Journal.Transport())
+
 		var worldErr error
 		tr, err := opt.Dial()
 		if err != nil {
@@ -93,10 +107,28 @@ func RunDistributed(ck *Checkpointer, exchanges int, opt DistributedOptions) err
 			})
 		}
 		if worldErr == nil {
+			opt.Journal.Record(fleet.EventRunComplete, map[string]any{"exchange": ck.Meta.Exchanges})
 			return nil
 		}
 
-		// Black box first, while the wreckage is still in memory.
+		// Classify before journaling: a world-lost fault is a dead peer (the
+		// kill -9 signature), anything else is a local failure.
+		var lost *mpi.WorldLostError
+		if errors.As(worldErr, &lost) {
+			opt.Journal.Record(fleet.EventWorldLost, map[string]any{
+				"cause":    lost.Cause.Error(),
+				"exchange": ck.Meta.Exchanges,
+			})
+		} else {
+			opt.Journal.Record(fleet.EventWorldFailed, map[string]any{
+				"cause":    worldErr.Error(),
+				"exchange": ck.Meta.Exchanges,
+			})
+		}
+
+		// Black box first, while the wreckage is still in memory. (The dump
+		// itself is journaled by the FlightRecorder's OnDump hook, wired at
+		// startup, so manual dumps are covered too.)
 		if path, derr := opt.Flight.Dump(fmt.Sprintf("distributed auto-resume: %v", worldErr), nil); derr == nil && path != "" && log != nil {
 			log.Info("flight dump written", "path", path)
 		}
@@ -105,6 +137,11 @@ func RunDistributed(ck *Checkpointer, exchanges int, opt DistributedOptions) err
 			restarts = 0 // forward progress refills the budget
 		}
 		if restarts >= maxRestarts {
+			opt.Journal.Record(fleet.EventRunFailed, map[string]any{
+				"cause":    worldErr.Error(),
+				"exchange": ck.Meta.Exchanges,
+				"restarts": restarts + 1,
+			})
 			return fmt.Errorf("core: distributed world at exchange %d failed %d times without progress, giving up: %w",
 				ck.Meta.Exchanges, restarts+1, worldErr)
 		}
@@ -131,6 +168,11 @@ func distributedWorldBody(world *mpi.Comm, ck *Checkpointer, exchanges int, opt 
 	// ranks' newest checkpoints.
 	agreed := world.AllreduceInt([]int{latest, -latest}, mpi.MinInt)
 	common, newest := agreed[0], -agreed[1]
+	opt.Journal.Record(fleet.EventResumeAgreement, map[string]any{
+		"latest": latest,
+		"common": common,
+		"newest": newest,
+	})
 	switch {
 	case newest < 0:
 		// A genuinely fresh world: baseline so even an exchange-1 fault is
@@ -145,6 +187,7 @@ func distributedWorldBody(world *mpi.Comm, ck *Checkpointer, exchanges int, opt 
 			panic(fmt.Errorf("core: rolling back to the world's common exchange %d: %w", common, err))
 		}
 		opt.Health.Rearm()
+		opt.Journal.Record(fleet.EventRecovered, map[string]any{"exchange": common})
 	}
 
 	for ck.Meta.Exchanges < exchanges {
@@ -163,7 +206,13 @@ func distributedExchange(world *mpi.Comm, ck *Checkpointer, opt DistributedOptio
 	tripsBefore := opt.Health.Trips()
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("core: exchange %d panicked: %v", attempt, r)
+			// Keep error panic values in the chain so the supervisor can still
+			// classify a dead peer (errors.As on *mpi.WorldLostError).
+			if rerr, ok := r.(error); ok {
+				err = fmt.Errorf("core: exchange %d panicked: %w", attempt, rerr)
+			} else {
+				err = fmt.Errorf("core: exchange %d panicked: %v", attempt, r)
+			}
 		}
 	}()
 	if err := ck.Meta.Advance(1); err != nil {

@@ -1,0 +1,378 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Cross-process trace stitching. Each process of a distributed run exports
+// its own Chrome trace (telemetry.WriteChromeTraceTagged): spans stamped with
+// absolute Lamport hop-clock values (args h0/h1) and the file tagged with
+// rank, incarnation, transport and the registry epoch. MergeTraceFiles folds
+// them into one timeline, one Chrome "process" per input file, labeled
+// "rank R inc I".
+//
+// # Ordering rule
+//
+// Raw timestamps are per-process (ns since each registry's epoch), so the
+// merge must place the files on one clock. Epoch alignment is the first-order
+// answer; the hop clock is the correctness bound. The rule: within one world
+// incarnation, for any two span endpoints e, f on different processes, if
+// hop(e) < hop(f) then e is placed at or before f. Lamport order is
+// consistent with happened-before — a receive's hop always exceeds its
+// matching send's — so any placement satisfying the rule orders every
+// receive after its send. (The rule is deliberately stronger than
+// happened-before: hop-ordered but causally concurrent endpoints are ordered
+// too, which is a valid linear extension, not a distortion.) Constraints are
+// scoped to one incarnation because hop clocks restart at zero when a world
+// is redialed; across incarnations wall-clock epochs order the files.
+//
+// The rule becomes one offset variable per file: endpoint times are fixed
+// local values, so "e before f" is offset(q) - offset(p) >= t(e) - t(f), and
+// the tightest such bound per ordered file pair is an edge in a constraint
+// graph solved by Bellman-Ford relaxation (longest path from the epoch
+// initialization). No finite solution — a positive cycle, possible only with
+// pathological clock skew — is reported in the MergeReport rather than
+// looping forever, and the merge falls back to the best offsets found.
+
+// mergeEvent mirrors the Chrome trace_event JSON shape.
+type mergeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type mergeDoc struct {
+	TraceEvents     []mergeEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// hopPoint is one span endpoint with hop-clock data: the unit of ordering
+// constraints.
+type hopPoint struct {
+	hop int
+	t   float64 // local µs
+}
+
+// mergeInput is one parsed trace file.
+type mergeInput struct {
+	path        string
+	doc         mergeDoc
+	rank        int
+	incarnation int
+	transport   string
+	tagged      bool
+	epochNs     float64
+	points      []hopPoint // sorted by hop, then t
+	prefMax     []float64  // prefMax[i] = max t over points[0..i]
+	offset      float64    // µs added to every timestamp (solved)
+}
+
+// MergeReport summarizes one merge.
+type MergeReport struct {
+	Files      int                `json:"files"`
+	Events     int                `json:"events"` // merged events written (metadata included)
+	Spans      int                `json:"spans"`  // "X" events written
+	Labels     []string           `json:"labels"` // process label per input, input order
+	OffsetsUs  map[string]float64 `json:"offsets_us"`
+	Violations int                `json:"violations"` // hop-order violations remaining after alignment
+	Infeasible bool               `json:"infeasible"` // constraint solving failed to converge
+}
+
+func intArg(args map[string]any, key string) (int, bool) {
+	v, ok := args[key]
+	if !ok {
+		return 0, false
+	}
+	f, ok := v.(float64)
+	if !ok {
+		return 0, false
+	}
+	return int(f), true
+}
+
+func numOther(m map[string]any, key string) (float64, bool) {
+	v, ok := m[key]
+	if !ok {
+		return 0, false
+	}
+	f, ok := v.(float64)
+	return f, ok
+}
+
+func parseInput(path string, raw []byte) (*mergeInput, error) {
+	in := &mergeInput{path: path, rank: -1, incarnation: -1}
+	if err := json.Unmarshal(raw, &in.doc); err != nil {
+		return nil, fmt.Errorf("fleet: trace %s: %w", path, err)
+	}
+	od := in.doc.OtherData
+	if f, ok := numOther(od, "epoch_unix_ns"); ok {
+		in.epochNs = f
+	}
+	rank, okR := numOther(od, "rank")
+	inc, okI := numOther(od, "incarnation")
+	if okR && okI {
+		in.tagged = true
+		in.rank, in.incarnation = int(rank), int(inc)
+		if tr, ok := od["transport"].(string); ok {
+			in.transport = tr
+		}
+	}
+	for _, ev := range in.doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		h0, ok0 := intArg(ev.Args, "h0")
+		h1, ok1 := intArg(ev.Args, "h1")
+		if !ok0 || !ok1 {
+			continue
+		}
+		in.points = append(in.points, hopPoint{hop: h0, t: ev.TS}, hopPoint{hop: h1, t: ev.TS + ev.Dur})
+	}
+	sort.Slice(in.points, func(i, j int) bool {
+		if in.points[i].hop != in.points[j].hop {
+			return in.points[i].hop < in.points[j].hop
+		}
+		return in.points[i].t < in.points[j].t
+	})
+	in.prefMax = make([]float64, len(in.points))
+	max := math.Inf(-1)
+	for i, pt := range in.points {
+		if pt.t > max {
+			max = pt.t
+		}
+		in.prefMax[i] = max
+	}
+	return in, nil
+}
+
+// maxBelow returns the largest local time among points with hop < h, and
+// whether any exists.
+func (in *mergeInput) maxBelow(h int) (float64, bool) {
+	// First index with hop >= h.
+	idx := sort.Search(len(in.points), func(i int) bool { return in.points[i].hop >= h })
+	if idx == 0 {
+		return 0, false
+	}
+	return in.prefMax[idx-1], true
+}
+
+// edgeWeight computes the tightest constraint offset(q) - offset(p) >= V for
+// the ordered pair (p, q): V = max over q's points f of
+// (max t of p's points with hop < hop(f)) - t(f). Returns -Inf when no
+// constrained pair exists.
+func edgeWeight(p, q *mergeInput) float64 {
+	v := math.Inf(-1)
+	for _, f := range q.points {
+		if tp, ok := p.maxBelow(f.hop); ok {
+			if d := tp - f.t; d > v {
+				v = d
+			}
+		}
+	}
+	return v
+}
+
+// violationsBetween counts q's endpoints placed (post-offset) before some
+// hop-smaller endpoint of p. eps absorbs float rounding from the µs
+// conversion.
+func violationsBetween(p, q *mergeInput) int {
+	const eps = 1e-3 // 1ns in µs
+	n := 0
+	for _, f := range q.points {
+		if tp, ok := p.maxBelow(f.hop); ok {
+			if tp+p.offset > f.t+q.offset+eps {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// label renders the input's Chrome process name.
+func (in *mergeInput) label() string {
+	if in.tagged {
+		if in.transport != "" {
+			return fmt.Sprintf("rank %d inc %d (%s)", in.rank, in.incarnation, in.transport)
+		}
+		return fmt.Sprintf("rank %d inc %d", in.rank, in.incarnation)
+	}
+	return filepath.Base(in.path)
+}
+
+// MergeTraces merges raw per-process Chrome trace documents (keyed by a
+// display path) into one causally ordered timeline written to w. See the
+// package comment on tracemerge for the ordering rule.
+func MergeTraces(w io.Writer, named []struct {
+	Path string
+	Raw  []byte
+}) (MergeReport, error) {
+	var rep MergeReport
+	if len(named) == 0 {
+		return rep, fmt.Errorf("fleet: no trace files to merge")
+	}
+	inputs := make([]*mergeInput, 0, len(named))
+	for _, nr := range named {
+		in, err := parseInput(nr.Path, nr.Raw)
+		if err != nil {
+			return rep, err
+		}
+		inputs = append(inputs, in)
+	}
+	rep.Files = len(inputs)
+
+	// Epoch alignment: offsets relative to the earliest epoch. Files without
+	// an epoch stay at zero offset.
+	minEpoch := math.Inf(1)
+	for _, in := range inputs {
+		if in.epochNs > 0 && in.epochNs < minEpoch {
+			minEpoch = in.epochNs
+		}
+	}
+	for _, in := range inputs {
+		if in.epochNs > 0 && !math.IsInf(minEpoch, 1) {
+			in.offset = (in.epochNs - minEpoch) / 1e3 // ns -> µs
+		}
+	}
+
+	// Hop-order constraints, scoped per incarnation (untagged files, rank or
+	// incarnation -1, never constrain).
+	type edge struct {
+		p, q *mergeInput
+		v    float64
+	}
+	var edges []edge
+	for _, p := range inputs {
+		for _, q := range inputs {
+			if p == q || !p.tagged || !q.tagged || p.incarnation != q.incarnation {
+				continue
+			}
+			if v := edgeWeight(p, q); !math.IsInf(v, -1) {
+				edges = append(edges, edge{p: p, q: q, v: v})
+			}
+		}
+	}
+	// Bellman-Ford longest-path relaxation from the epoch initialization: at
+	// most |files| rounds; a round that still relaxes afterwards means a
+	// positive cycle (irreconcilable clock skew).
+	for round := 0; round <= len(inputs); round++ {
+		changed := false
+		for _, e := range edges {
+			if need := e.p.offset + e.v; need > e.q.offset+1e-9 {
+				e.q.offset = need
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if round == len(inputs) {
+			rep.Infeasible = true
+		}
+	}
+	// Re-ground at zero so the merged timeline starts where the earliest
+	// shifted event does.
+	minOff := math.Inf(1)
+	for _, in := range inputs {
+		if in.offset < minOff {
+			minOff = in.offset
+		}
+	}
+	rep.OffsetsUs = map[string]float64{}
+	for _, in := range inputs {
+		in.offset -= minOff
+		rep.OffsetsUs[in.path] = in.offset
+	}
+
+	for _, p := range inputs {
+		for _, q := range inputs {
+			if p == q || !p.tagged || !q.tagged || p.incarnation != q.incarnation {
+				continue
+			}
+			rep.Violations += violationsBetween(p, q)
+		}
+	}
+
+	// Assemble: one Chrome pid per input, metadata first, spans shifted.
+	out := mergeDoc{
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"generator": "nektarg trace-merge",
+			"files":     rep.Files,
+		},
+	}
+	var spans []mergeEvent
+	for pid, in := range inputs {
+		lbl := in.label()
+		rep.Labels = append(rep.Labels, lbl)
+		out.TraceEvents = append(out.TraceEvents, mergeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": lbl},
+		}, mergeEvent{
+			Name: "process_sort_index", Ph: "M", PID: pid,
+			Args: map[string]any{"sort_index": pid},
+		})
+		for _, ev := range in.doc.TraceEvents {
+			ev.PID = pid
+			switch ev.Ph {
+			case "M":
+				out.TraceEvents = append(out.TraceEvents, ev)
+			case "X":
+				ev.TS += in.offset
+				spans = append(spans, ev)
+			}
+		}
+	}
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].TS != spans[j].TS {
+			return spans[i].TS < spans[j].TS
+		}
+		if spans[i].PID != spans[j].PID {
+			return spans[i].PID < spans[j].PID
+		}
+		if spans[i].TID != spans[j].TID {
+			return spans[i].TID < spans[j].TID
+		}
+		return spans[i].Name < spans[j].Name
+	})
+	out.TraceEvents = append(out.TraceEvents, spans...)
+	rep.Spans = len(spans)
+	rep.Events = len(out.TraceEvents)
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// MergeTraceFiles reads the given per-process trace files and writes the
+// merged timeline to w.
+func MergeTraceFiles(w io.Writer, paths []string) (MergeReport, error) {
+	named := make([]struct {
+		Path string
+		Raw  []byte
+	}, 0, len(paths))
+	for _, path := range paths {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return MergeReport{}, err
+		}
+		named = append(named, struct {
+			Path string
+			Raw  []byte
+		}{Path: path, Raw: raw})
+	}
+	return MergeTraces(w, named)
+}

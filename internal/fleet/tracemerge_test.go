@@ -1,0 +1,197 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// makeTrace builds a tagged Chrome trace document. spans are (name, tsUs,
+// durUs, h0, h1); hop values <0 mean "no hop args" (local-only span).
+func makeTrace(t *testing.T, rank, inc int, epochNs int64, spans [][5]float64) []byte {
+	t.Helper()
+	doc := mergeDoc{
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"epoch_unix_ns": epochNs,
+			"rank":          rank,
+			"incarnation":   inc,
+			"transport":     "tcp",
+		},
+	}
+	doc.TraceEvents = append(doc.TraceEvents, mergeEvent{
+		Name: "thread_name", Ph: "M", PID: 0, TID: 1,
+		Args: map[string]any{"name": "solver"},
+	})
+	for _, s := range spans {
+		ev := mergeEvent{Name: "span", Ph: "X", TS: s[1], Dur: s[2], PID: 0, TID: 1}
+		if s[3] >= 0 {
+			ev.Args = map[string]any{"h0": s[3], "h1": s[4]}
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+type namedRaw = struct {
+	Path string
+	Raw  []byte
+}
+
+// mergedSpans decodes the merged output's "X" events.
+func mergedSpans(t *testing.T, out []byte) ([]mergeEvent, mergeDoc) {
+	t.Helper()
+	var doc mergeDoc
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatal(err)
+	}
+	var spans []mergeEvent
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			spans = append(spans, ev)
+		}
+	}
+	return spans, doc
+}
+
+func TestMergeAlignsHopOrderAcrossSkewedClocks(t *testing.T) {
+	// Process 0: a send span ending at hop 5, late in its local time.
+	// Process 1: the matching receive at hop 6 — but its epoch claims it
+	// started 10ms BEFORE process 0, and its receive sits at local t=0, so
+	// epoch alignment alone would place the receive before the send. The hop
+	// constraint must push process 1 right.
+	p0 := makeTrace(t, 0, 1, 1_000_000_000, [][5]float64{
+		{0, 100, 900, 4, 5}, // send: ends t=1000µs local, hop 5
+	})
+	p1 := makeTrace(t, 1, 1, 990_000_000, [][5]float64{
+		{0, 0, 50, 6, 7}, // receive: starts t=0 local, hop 6
+	})
+	var out bytes.Buffer
+	rep, err := MergeTraces(&out, []namedRaw{{"p0.json", p0}, {"p1.json", p1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("violations = %d, want 0", rep.Violations)
+	}
+	if rep.Infeasible {
+		t.Fatal("merge reported infeasible")
+	}
+	spans, doc := mergedSpans(t, out.Bytes())
+	if len(spans) != 2 {
+		t.Fatalf("merged %d spans, want 2", len(spans))
+	}
+	// The receive (pid 1) must start at or after the send (pid 0) ends.
+	var sendEnd, recvStart float64
+	for _, s := range spans {
+		if s.PID == 0 {
+			sendEnd = s.TS + s.Dur
+		} else {
+			recvStart = s.TS
+		}
+	}
+	if recvStart < sendEnd {
+		t.Fatalf("receive at %.1fµs precedes send end %.1fµs", recvStart, sendEnd)
+	}
+	// Process metadata must label both inputs.
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			names[ev.Args["name"].(string)] = true
+		}
+	}
+	if !names["rank 0 inc 1 (tcp)"] || !names["rank 1 inc 1 (tcp)"] {
+		t.Fatalf("process labels = %v", names)
+	}
+}
+
+func TestMergeScopesConstraintsToIncarnation(t *testing.T) {
+	// Incarnation 2's hop clock restarted at zero: its hop-1 span must NOT be
+	// dragged before incarnation 1's hop-9 span — epochs order the eras.
+	inc1 := makeTrace(t, 0, 1, 1_000_000_000, [][5]float64{{0, 0, 100, 8, 9}})
+	inc2 := makeTrace(t, 0, 2, 2_000_000_000, [][5]float64{{0, 0, 100, 0, 1}})
+	peer2 := makeTrace(t, 1, 2, 2_000_000_000, [][5]float64{{0, 500, 100, 2, 3}})
+	var out bytes.Buffer
+	rep, err := MergeTraces(&out, []namedRaw{
+		{"r0-inc1.json", inc1}, {"r0-inc2.json", inc2}, {"r1-inc2.json", peer2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations != 0 || rep.Infeasible {
+		t.Fatalf("report = %+v", rep)
+	}
+	spans, _ := mergedSpans(t, out.Bytes())
+	// inc1's span stays a full second (epoch gap) before inc2's spans.
+	var inc1End, inc2Start float64 = 0, 1e18
+	for i, s := range spans {
+		_ = i
+		if s.TS+s.Dur > inc1End && s.TS < 500_000 { // inc1 lives near t=0
+			inc1End = s.TS + s.Dur
+		}
+		if s.TS >= 500_000 && s.TS < inc2Start {
+			inc2Start = s.TS
+		}
+	}
+	if inc2Start-inc1End < 900_000 { // ~1s in µs, minus slack
+		t.Fatalf("incarnation eras overlap: inc1 ends %.0fµs, inc2 starts %.0fµs", inc1End, inc2Start)
+	}
+	if len(rep.Labels) != 3 {
+		t.Fatalf("labels = %v", rep.Labels)
+	}
+}
+
+func TestMergeHandlesUntaggedAndEmptyInputs(t *testing.T) {
+	tagged := makeTrace(t, 0, 1, 1_000_000_000, [][5]float64{{0, 0, 100, 1, 2}})
+	plain, err := json.Marshal(mergeDoc{TraceEvents: []mergeEvent{
+		{Name: "solo", Ph: "X", TS: 10, Dur: 5, TID: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	rep, merr := MergeTraces(&out, []namedRaw{{"tagged.json", tagged}, {"plain.json", plain}})
+	if merr != nil {
+		t.Fatal(merr)
+	}
+	if rep.Files != 2 || rep.Spans != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// The untagged file is labeled by its basename.
+	found := false
+	for _, l := range rep.Labels {
+		if strings.Contains(l, "plain.json") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("labels = %v", rep.Labels)
+	}
+
+	if _, err := MergeTraces(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("empty input must error")
+	}
+	if _, err := MergeTraces(&bytes.Buffer{}, []namedRaw{{"bad.json", []byte("{")}}); err == nil {
+		t.Fatal("malformed JSON must error")
+	}
+}
+
+func TestMergeOutputDeterministic(t *testing.T) {
+	p0 := makeTrace(t, 0, 1, 1_000_000_000, [][5]float64{{0, 0, 100, 1, 2}, {0, 200, 100, 3, 4}})
+	p1 := makeTrace(t, 1, 1, 1_000_000_500, [][5]float64{{0, 50, 100, 2, 3}})
+	var a, b bytes.Buffer
+	if _, err := MergeTraces(&a, []namedRaw{{"p0", p0}, {"p1", p1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeTraces(&b, []namedRaw{{"p0", p0}, {"p1", p1}}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("merge output not deterministic")
+	}
+}

@@ -34,9 +34,14 @@ type FlightTrack struct {
 // the health timeline, and every track's recent activity — enough to
 // diagnose a dead run without re-running it.
 type FlightDump struct {
-	Time      time.Time        `json:"time"`
-	Reason    string           `json:"reason"`
-	Trip      *Event           `json:"trip,omitempty"`
+	Time   time.Time `json:"time"`
+	Reason string    `json:"reason"`
+	// Incarnation and Transport identify which world incarnation (distributed
+	// runs redial after a process loss) and transport kind produced the dump,
+	// so post-mortem dumps from restarted ranks are distinguishable.
+	Incarnation int              `json:"incarnation,omitempty"`
+	Transport   string           `json:"transport,omitempty"`
+	Trip        *Event           `json:"trip,omitempty"`
 	Verdict   Verdict          `json:"verdict"`
 	Events    []Event          `json:"events"`
 	Tracks    []FlightTrack    `json:"tracks"`
@@ -60,6 +65,10 @@ type FlightRecorder struct {
 	health   *Health
 	insitu   func() ([]byte, error) // in-situ meta source; nil = omit
 	now      func() time.Time       // test seam
+
+	incarnation int                       // stamped into dumps; see SetRunLabels
+	transport   string                    // transport kind ("local", "tcp", ...)
+	onDump      func(path, reason string) // fired after each successful dump (fleet journal)
 }
 
 // NewFlightRecorder builds a recorder writing into dir (created on demand),
@@ -116,6 +125,31 @@ func (f *FlightRecorder) SetInsituSource(fn func() ([]byte, error)) {
 	f.mu.Unlock()
 }
 
+// SetRunLabels stamps subsequent dumps with the current world incarnation id
+// and transport kind. The distributed supervisor refreshes it on every
+// redial so dumps from restarted worlds are distinguishable.
+func (f *FlightRecorder) SetRunLabels(incarnation int, transport string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.incarnation = incarnation
+	f.transport = transport
+	f.mu.Unlock()
+}
+
+// OnDump installs a hook fired (outside the lock) after every successful dump
+// with the written path and the reason. The fleet journal records each dump
+// as a run event so dumps stay discoverable after the fact.
+func (f *FlightRecorder) OnDump(fn func(path, reason string)) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.onDump = fn
+	f.mu.Unlock()
+}
+
 // Dumps returns the paths written so far.
 func (f *FlightRecorder) Dumps() []string {
 	if f == nil {
@@ -141,6 +175,8 @@ func (f *FlightRecorder) Dump(reason string, trip *Event) (string, error) {
 	}
 	dir, maxSpans := f.dir, f.maxSpans
 	insitu := f.insitu
+	incarnation, transport := f.incarnation, f.transport
+	onDump := f.onDump
 	ts := f.now()
 	f.mu.Unlock()
 
@@ -150,6 +186,7 @@ func (f *FlightRecorder) Dump(reason string, trip *Event) (string, error) {
 	}
 	d := &FlightDump{
 		Time: ts, Reason: reason, Trip: trip,
+		Incarnation: incarnation, Transport: transport,
 		Verdict: f.health.Verdict(), Events: f.health.Events(),
 	}
 	snaps := make([]*telemetry.Snapshot, 0, len(recs))
@@ -201,5 +238,8 @@ func (f *FlightRecorder) Dump(reason string, trip *Event) (string, error) {
 	f.mu.Lock()
 	f.dumps = append(f.dumps, path)
 	f.mu.Unlock()
+	if onDump != nil {
+		onDump(path, reason)
+	}
 	return path, nil
 }

@@ -69,6 +69,7 @@ type Health struct {
 	cleared int64               // trips acknowledged by Rearm; healthy = trips == cleared
 	rearms  int64               // number of Rearm calls
 	onTrip  func(Event)         // flight-recorder hook; see Monitor
+	onEvent func(Event)         // every-event mirror hook (fleet journal); see OnEvent
 	log     *slog.Logger
 }
 
@@ -103,6 +104,18 @@ func (h *Health) OnTrip(fn func(Event)) {
 	h.mu.Unlock()
 }
 
+// OnEvent installs a hook invoked (outside the lock) for every event, of any
+// severity. Watchdogs emit only on severity transitions, so the volume is
+// bounded; the fleet journal uses this to make every transition durable.
+func (h *Health) OnEvent(fn func(Event)) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.onEvent = fn
+	h.mu.Unlock()
+}
+
 // Record appends one event, bumping the counters and firing the trip hook for
 // critical severities. Safe on nil.
 func (h *Health) Record(watchdog, track string, sev Severity, msg string, value float64) {
@@ -129,8 +142,13 @@ func (h *Health) Record(watchdog, track string, sev Severity, msg string, value 
 		h.trips++
 	}
 	hook := h.onTrip
+	mirror := h.onEvent
 	log := h.log
 	h.mu.Unlock()
+
+	if mirror != nil {
+		mirror(e)
+	}
 
 	if log != nil {
 		lvl := slog.LevelInfo

@@ -70,6 +70,7 @@ type Monitor struct {
 
 	mu    sync.Mutex
 	extra []func() []*telemetry.Recorder // additional recorder sources
+	stats []func() []Stat                // extra metric sources (transport counters, ...)
 	snap  SnapshotSource                 // in-situ observation surface; nil = 404
 }
 

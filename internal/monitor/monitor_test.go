@@ -72,7 +72,7 @@ func syntheticState() ([]*telemetry.Snapshot, *Health) {
 func TestGoldenMetrics(t *testing.T) {
 	snaps, h := syntheticState()
 	var buf bytes.Buffer
-	if err := WriteMetrics(&buf, "nektarg", snaps, AnalyzeImbalance(snaps), h); err != nil {
+	if err := WriteMetrics(&buf, "nektarg", snaps, AnalyzeImbalance(snaps), nil, h); err != nil {
 		t.Fatal(err)
 	}
 	golden := filepath.Join("testdata", "metrics.golden")
@@ -99,7 +99,7 @@ func TestGoldenMetrics(t *testing.T) {
 func TestMetricsParse(t *testing.T) {
 	snaps, h := syntheticState()
 	var buf bytes.Buffer
-	if err := WriteMetrics(&buf, "test", snaps, AnalyzeImbalance(snaps), h); err != nil {
+	if err := WriteMetrics(&buf, "test", snaps, AnalyzeImbalance(snaps), nil, h); err != nil {
 		t.Fatal(err)
 	}
 	samples := 0
@@ -550,7 +550,7 @@ func BenchmarkWriteMetrics(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := WriteMetrics(io.Discard, "nektarg", snaps, imb, h); err != nil {
+		if err := WriteMetrics(io.Discard, "nektarg", snaps, imb, nil, h); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -80,10 +80,12 @@ func escapeLabel(s string) string {
 	return r.Replace(s)
 }
 
-// WriteMetrics renders snapshots, imbalance diagnoses and health counters as
-// Prometheus text exposition. Output is deterministic for a given input
-// (tracks, stages, labels all sorted), which the golden test pins.
-func WriteMetrics(w io.Writer, namespace string, snaps []*telemetry.Snapshot, imb []StageImbalance, h *Health) error {
+// WriteMetrics renders snapshots, imbalance diagnoses, extra stat samples
+// (transport counters and other out-of-registry sources — pass nil for none)
+// and health counters as Prometheus text exposition. Output is deterministic
+// for a given input (tracks, stages, labels all sorted; extra families in the
+// grouped order Monitor.Stats produces), which the golden test pins.
+func WriteMetrics(w io.Writer, namespace string, snaps []*telemetry.Snapshot, imb []StageImbalance, extra []Stat, h *Health) error {
 	if namespace == "" {
 		namespace = "nektarg"
 	}
@@ -215,6 +217,10 @@ func WriteMetrics(w io.Writer, namespace string, snaps []*telemetry.Snapshot, im
 			p.sample(ns+fam.suffix, nil, v)
 		}
 	}
+
+	// Extra stat samples (transport counters and other sources registered via
+	// Monitor.AddStatSource).
+	p.writeStats(ns, extra)
 
 	// Health.
 	p.header(ns+"_health_healthy", "1 while no watchdog has tripped since the last re-arm, 0 after a critical event.", "gauge")

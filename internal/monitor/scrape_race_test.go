@@ -1,0 +1,148 @@
+package monitor_test
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"nektarg/internal/fleet"
+	"nektarg/internal/monitor"
+	"nektarg/internal/mpi"
+	"nektarg/internal/mpi/tcptransport"
+	"nektarg/internal/telemetry"
+)
+
+// TestScrapeWhileWorldSteps pins the observability contract under load: a
+// two-rank TCP world exchanges messages while external scrapers hammer each
+// rank's /metrics and /healthz. Every scrape must succeed, and the run must
+// finish with the traffic the world generated visible in the exposition.
+// The whole arrangement runs under -race in CI — that is the point: scrapes
+// read the same counters the stepping ranks write.
+func TestScrapeWhileWorldSteps(t *testing.T) {
+	const exchanges = 50
+	trs, err := tcptransport.Loopback(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type rankPlane struct {
+		reg *telemetry.Registry
+		mon *monitor.Monitor
+		srv *monitor.Server
+	}
+	planes := make([]rankPlane, 2)
+	for i := range planes {
+		reg := telemetry.NewRegistry()
+		mon := monitor.New(reg, monitor.Options{})
+		// Wire the transport counters the way the CLI does: a TCPStats holder
+		// wrapping the dial, its Source feeding /metrics.
+		ts := &fleet.TCPStats{}
+		tr := trs[i]
+		if _, err := ts.Wrap(func() (*tcptransport.Transport, error) { return tr, nil })(); err != nil {
+			t.Fatal(err)
+		}
+		mon.AddStatSource(ts.Source())
+		srv, err := mon.Serve("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		planes[i] = rankPlane{reg: reg, mon: mon, srv: srv}
+	}
+
+	// Scrapers: one goroutine per endpoint per rank, polling until the world
+	// is done. Failures are counted, not fatal mid-flight (t.Fatalf must not
+	// fire off the test goroutine).
+	var done atomic.Bool
+	var scrapeErrs atomic.Int64
+	var scrapes atomic.Int64
+	var swg sync.WaitGroup
+	for i := range planes {
+		for _, path := range []string{"/metrics", "/healthz"} {
+			swg.Add(1)
+			go func(base, path string) {
+				defer swg.Done()
+				for !done.Load() {
+					resp, err := http.Get(base + path)
+					if err != nil {
+						scrapeErrs.Add(1)
+						continue
+					}
+					_, rerr := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if rerr != nil || resp.StatusCode != http.StatusOK {
+						scrapeErrs.Add(1)
+						continue
+					}
+					scrapes.Add(1)
+				}
+			}(planes[i].srv.URL(), path)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, tr := range trs {
+		wg.Add(1)
+		go func(i int, tr *tcptransport.Transport) {
+			defer wg.Done()
+			errs[i] = mpi.RunOn(tr, func(w *mpi.Comm) {
+				rec := planes[i].reg.NewRecorder("solver")
+				w.AttachTelemetry(rec)
+				for e := 0; e < exchanges; e++ {
+					sp := rec.Begin("exchange")
+					if w.Rank() == 0 {
+						w.Send(1, 100+e, []float64{float64(e)})
+						w.Recv(1, 200+e)
+					} else {
+						w.Recv(0, 100+e)
+						w.Send(0, 200+e, []float64{float64(e), 1})
+					}
+					sp.End()
+				}
+				w.Barrier()
+			})
+		}(i, tr)
+	}
+	wg.Wait()
+	done.Store(true)
+	swg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		t.Fatal(err)
+	}
+	if n := scrapeErrs.Load(); n != 0 {
+		t.Fatalf("%d scrapes failed while the world stepped", n)
+	}
+	if scrapes.Load() == 0 {
+		t.Fatal("no scrape completed while the world stepped")
+	}
+
+	// The final exposition must carry both the solver spans and the wire
+	// counters the run produced.
+	for i := range planes {
+		resp, err := http.Get(planes[i].srv.URL() + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := string(body)
+		for _, want := range []string{
+			`nektarg_stage_count_total{track="solver",stage="exchange"} 50`,
+			"nektarg_traffic_messages_total",
+			fmt.Sprintf(`nektarg_transport_frames_sent_total{peer="%d"}`, 1-i),
+		} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("rank %d /metrics missing %q:\n%s", i, want, out)
+			}
+		}
+	}
+}

@@ -41,7 +41,7 @@ func (m *Monitor) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		snaps := m.Snapshots()
 		imb := AnalyzeImbalance(snaps)
-		if err := WriteMetrics(w, m.ns, snaps, imb, m.health); err != nil {
+		if err := WriteMetrics(w, m.ns, snaps, imb, m.Stats(), m.health); err != nil {
 			// Headers are gone; nothing recoverable — the scraper sees a
 			// truncated body and retries.
 			return

@@ -1,0 +1,188 @@
+package tcptransport_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"nektarg/internal/mpi"
+	"nektarg/internal/mpi/tcptransport"
+)
+
+// TestTransportStats pins the wire accounting: frames and bytes per peer in
+// both directions, dial and handshake counters from the rendezvous, and the
+// FIN-vs-EOF close distinction on a graceful shutdown.
+func TestTransportStats(t *testing.T) {
+	trs, err := tcptransport.Loopback(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, tr := range trs {
+		wg.Add(1)
+		go func(i int, tr *tcptransport.Transport) {
+			defer wg.Done()
+			errs[i] = mpi.RunOn(tr, func(w *mpi.Comm) {
+				if w.Rank() == 0 {
+					w.Send(1, 7, []float64{1, 2, 3})
+					if got := w.Recv(1, 8).([]float64); len(got) != 2 {
+						panic("bad reply")
+					}
+					// Rank 1 returns after its send, so its FIN is on the wire;
+					// wait for it so this rank's close doesn't race the receipt.
+					deadline := time.Now().Add(5 * time.Second)
+					for trs[0].Stats().FinCloses == 0 {
+						if time.Now().After(deadline) {
+							panic("peer FIN never arrived")
+						}
+						time.Sleep(time.Millisecond)
+					}
+				} else {
+					if got := w.Recv(0, 7).([]float64); len(got) != 3 {
+						panic("bad payload")
+					}
+					w.Send(0, 8, []float64{4, 5})
+				}
+			})
+		}(i, tr)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		t.Fatal(err)
+	}
+
+	for rank, tr := range trs {
+		s := tr.Stats()
+		if s.Rank != rank {
+			t.Fatalf("stats rank = %d, want %d", s.Rank, rank)
+		}
+		if s.RendezvousNs <= 0 {
+			t.Fatalf("rank %d rendezvous time = %d", rank, s.RendezvousNs)
+		}
+		if len(s.Peers) != 1 || s.Peers[0].Peer != 1-rank {
+			t.Fatalf("rank %d peers = %+v", rank, s.Peers)
+		}
+		p := s.Peers[0]
+		if p.FramesSent < 1 || p.FramesRecv < 1 {
+			t.Fatalf("rank %d frames sent=%d recv=%d", rank, p.FramesSent, p.FramesRecv)
+		}
+		// Every frame carries a length header on top of its payload.
+		if p.BytesSent <= 4*p.FramesSent || p.BytesRecv <= 4*p.FramesRecv {
+			t.Fatalf("rank %d bytes sent=%d recv=%d implausible for frames sent=%d recv=%d",
+				rank, p.BytesSent, p.BytesRecv, p.FramesSent, p.FramesRecv)
+		}
+		if p.HandshakeNs <= 0 {
+			t.Fatalf("rank %d handshake time = %d", rank, p.HandshakeNs)
+		}
+		if s.EOFCloses != 0 {
+			t.Fatalf("rank %d counted %d EOF closes on a graceful run", rank, s.EOFCloses)
+		}
+	}
+
+	s0, s1 := trs[0].Stats(), trs[1].Stats()
+	// Rank 1 dials the lower rank; rank 0 only accepts.
+	if s1.DialAttempts < 1 {
+		t.Fatalf("rank 1 dial attempts = %d, want >= 1", s1.DialAttempts)
+	}
+	if s0.DialAttempts != 0 {
+		t.Fatalf("rank 0 dial attempts = %d, want 0", s0.DialAttempts)
+	}
+	// Rank 0 waited for the FIN, so it saw rank 1's full stream: one data
+	// frame plus the FIN, and frame/byte conservation holds exactly.
+	if s0.FinCloses != 1 {
+		t.Fatalf("rank 0 FIN closes = %d, want 1", s0.FinCloses)
+	}
+	if s0.Peers[0].FramesRecv != 2 {
+		t.Fatalf("rank 0 received %d frames, want 2 (data + FIN)", s0.Peers[0].FramesRecv)
+	}
+	if s1.Peers[0].FramesSent != s0.Peers[0].FramesRecv {
+		t.Fatalf("frame conservation broken: 1 sent %d, 0 received %d",
+			s1.Peers[0].FramesSent, s0.Peers[0].FramesRecv)
+	}
+	if s1.Peers[0].BytesSent != s0.Peers[0].BytesRecv {
+		t.Fatalf("byte conservation broken: 1 sent %d, 0 received %d",
+			s1.Peers[0].BytesSent, s0.Peers[0].BytesRecv)
+	}
+}
+
+// TestTransportStatsCountsDeadPeer pins the other side of the close taxonomy:
+// a peer that unwinds without a FIN is an EOF close, not a FIN close.
+func TestTransportStatsCountsDeadPeer(t *testing.T) {
+	trs, err := tcptransport.Loopback(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, tr := range trs {
+		wg.Add(1)
+		go func(i int, tr *tcptransport.Transport) {
+			defer wg.Done()
+			errs[i] = mpi.RunOn(tr, func(w *mpi.Comm) {
+				if w.Rank() == 0 {
+					w.Recv(1, 7) // blocks until the peer's death surfaces
+				} else {
+					panic("rank 1 dies abortively")
+				}
+			})
+		}(i, tr)
+	}
+	wg.Wait()
+	if errs[0] == nil || errs[1] == nil {
+		t.Fatalf("both ranks should fail: %v, %v", errs[0], errs[1])
+	}
+	var lost *mpi.WorldLostError
+	if !errors.As(errs[0], &lost) {
+		t.Fatalf("rank 0 error is not a world loss: %v", errs[0])
+	}
+	s0 := trs[0].Stats()
+	if s0.EOFCloses != 1 || s0.FinCloses != 0 {
+		t.Fatalf("rank 0 closes fin=%d eof=%d, want 0/1", s0.FinCloses, s0.EOFCloses)
+	}
+}
+
+// TestStatsAddFoldsIncarnations pins the redial-survival semantics: Add sums
+// counters and takes the max of latency fields, matching peers by rank.
+func TestStatsAddFoldsIncarnations(t *testing.T) {
+	a := tcptransport.Stats{
+		Rank: 1, DialAttempts: 3, Redials: 2, RendezvousNs: 500, FinCloses: 1, EOFCloses: 1,
+		Peers: []tcptransport.PeerStats{{Peer: 0, FramesSent: 10, BytesSent: 100, FramesRecv: 9, BytesRecv: 90, HandshakeNs: 50}},
+	}
+	b := tcptransport.Stats{
+		Rank: 1, DialAttempts: 1, RendezvousNs: 900,
+		Peers: []tcptransport.PeerStats{
+			{Peer: 0, FramesSent: 5, BytesSent: 50, FramesRecv: 4, BytesRecv: 40, HandshakeNs: 20},
+			{Peer: 2, FramesSent: 1, BytesSent: 10, FramesRecv: 1, BytesRecv: 10, HandshakeNs: 30},
+		},
+	}
+	a.Add(b)
+	if a.DialAttempts != 4 || a.Redials != 2 || a.FinCloses != 1 || a.EOFCloses != 1 {
+		t.Fatalf("scalar fold wrong: %+v", a)
+	}
+	if a.RendezvousNs != 900 {
+		t.Fatalf("rendezvous should take max: %d", a.RendezvousNs)
+	}
+	if len(a.Peers) != 2 {
+		t.Fatalf("peer merge: %+v", a.Peers)
+	}
+	var p0, p2 *tcptransport.PeerStats
+	for i := range a.Peers {
+		switch a.Peers[i].Peer {
+		case 0:
+			p0 = &a.Peers[i]
+		case 2:
+			p2 = &a.Peers[i]
+		}
+	}
+	if p0 == nil || p0.FramesSent != 15 || p0.BytesSent != 150 || p0.FramesRecv != 13 || p0.BytesRecv != 130 {
+		t.Fatalf("peer 0 fold: %+v", p0)
+	}
+	if p0.HandshakeNs != 50 {
+		t.Fatalf("handshake should take max: %d", p0.HandshakeNs)
+	}
+	if p2 == nil || p2.FramesSent != 1 {
+		t.Fatalf("new peer not appended: %+v", a.Peers)
+	}
+}

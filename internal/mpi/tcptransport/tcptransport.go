@@ -95,6 +95,109 @@ type Transport struct {
 	lost    func(peer int, err error)
 	readers sync.WaitGroup
 	closed  atomic.Bool
+
+	// Wire-level accounting, surfaced by Stats. All atomic: the fleet
+	// publisher scrapes a live transport, possibly mid-rendezvous.
+	pstats       []peerCounters // indexed by world rank (self stays zero)
+	dialAttempts atomic.Int64
+	redials      atomic.Int64
+	rendezvousNs atomic.Int64
+	finCloses    atomic.Int64
+	eofCloses    atomic.Int64
+}
+
+// peerCounters is one peer's wire accounting (fixed-size, preallocated, so
+// scrapes never race connection setup).
+type peerCounters struct {
+	framesSent  atomic.Int64
+	bytesSent   atomic.Int64
+	framesRecv  atomic.Int64
+	bytesRecv   atomic.Int64
+	handshakeNs atomic.Int64
+}
+
+// PeerStats is one peer's wire counters at a scrape instant.
+type PeerStats struct {
+	Peer        int   `json:"peer"`
+	FramesSent  int64 `json:"frames_sent"`
+	BytesSent   int64 `json:"bytes_sent"`
+	FramesRecv  int64 `json:"frames_received"`
+	BytesRecv   int64 `json:"bytes_received"`
+	HandshakeNs int64 `json:"handshake_ns"` // rendezvous handshake latency to this peer
+}
+
+// Stats is a Transport's wire-level accounting snapshot: per-peer frame and
+// byte tallies (FIN frames included — they are wire traffic), dial attempts
+// and redials from the rendezvous, the total rendezvous wall time, and how
+// streams ended (graceful FIN vs EOF-without-FIN, i.e. a dead peer).
+type Stats struct {
+	Rank         int         `json:"rank"`
+	DialAttempts int64       `json:"dial_attempts"`
+	Redials      int64       `json:"redials"`
+	RendezvousNs int64       `json:"rendezvous_ns"`
+	FinCloses    int64       `json:"fin_closes"`
+	EOFCloses    int64       `json:"eof_closes"`
+	Peers        []PeerStats `json:"peers"`
+}
+
+// Add accumulates another snapshot into this one, matching peers by rank —
+// how a fleet publisher folds the counters of dead incarnations into the
+// live transport's numbers.
+func (s *Stats) Add(o Stats) {
+	s.DialAttempts += o.DialAttempts
+	s.Redials += o.Redials
+	if o.RendezvousNs > s.RendezvousNs {
+		s.RendezvousNs = o.RendezvousNs
+	}
+	s.FinCloses += o.FinCloses
+	s.EOFCloses += o.EOFCloses
+	for _, op := range o.Peers {
+		found := false
+		for i := range s.Peers {
+			if s.Peers[i].Peer == op.Peer {
+				s.Peers[i].FramesSent += op.FramesSent
+				s.Peers[i].BytesSent += op.BytesSent
+				s.Peers[i].FramesRecv += op.FramesRecv
+				s.Peers[i].BytesRecv += op.BytesRecv
+				if op.HandshakeNs > s.Peers[i].HandshakeNs {
+					s.Peers[i].HandshakeNs = op.HandshakeNs
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			s.Peers = append(s.Peers, op)
+		}
+	}
+}
+
+// Stats snapshots the transport's wire counters. Safe to call from any
+// goroutine at any time, including while the rendezvous is in flight.
+func (t *Transport) Stats() Stats {
+	s := Stats{
+		Rank:         t.rank,
+		DialAttempts: t.dialAttempts.Load(),
+		Redials:      t.redials.Load(),
+		RendezvousNs: t.rendezvousNs.Load(),
+		FinCloses:    t.finCloses.Load(),
+		EOFCloses:    t.eofCloses.Load(),
+	}
+	for j := range t.pstats {
+		if j == t.rank {
+			continue
+		}
+		pc := &t.pstats[j]
+		s.Peers = append(s.Peers, PeerStats{
+			Peer:        j,
+			FramesSent:  pc.framesSent.Load(),
+			BytesSent:   pc.bytesSent.Load(),
+			FramesRecv:  pc.framesRecv.Load(),
+			BytesRecv:   pc.bytesRecv.Load(),
+			HandshakeNs: pc.handshakeNs.Load(),
+		})
+	}
+	return s
 }
 
 // peerConn is one framed gob stream to a peer rank.
@@ -110,6 +213,8 @@ type peerConn struct {
 	fr  *frameReader
 	dec *gob.Decoder
 	fin atomic.Bool // peer announced a graceful close
+
+	stats *peerCounters // transport-owned wire accounting for this peer
 }
 
 // New creates the transport for world rank `rank` of the address table
@@ -133,11 +238,12 @@ func New(rank int, peers []string, opt Options) (*Transport, error) {
 func newWithListener(rank int, peers []string, ln net.Listener, opt Options) *Transport {
 	opt.fill()
 	return &Transport{
-		rank:  rank,
-		peers: append([]string(nil), peers...),
-		opt:   opt,
-		ln:    ln,
-		conns: make([]*peerConn, len(peers)),
+		rank:   rank,
+		peers:  append([]string(nil), peers...),
+		opt:    opt,
+		ln:     ln,
+		conns:  make([]*peerConn, len(peers)),
+		pstats: make([]peerCounters, len(peers)),
 	}
 }
 
@@ -178,7 +284,8 @@ func (t *Transport) Size() int { return len(t.peers) }
 func (t *Transport) Start(deliver func(mpi.Envelope), lost func(peer int, err error)) error {
 	t.deliver = deliver
 	t.lost = lost
-	deadline := time.Now().Add(t.opt.RendezvousTimeout)
+	rendezvousStart := time.Now()
+	deadline := rendezvousStart.Add(t.opt.RendezvousTimeout)
 
 	var wg sync.WaitGroup
 	errs := make([]error, len(t.peers))
@@ -205,6 +312,7 @@ func (t *Transport) Start(deliver func(mpi.Envelope), lost func(peer int, err er
 		t.Close(false)
 		return err
 	}
+	t.rendezvousNs.Store(time.Since(rendezvousStart).Nanoseconds())
 	for _, pc := range t.conns {
 		if pc != nil {
 			t.readers.Add(1)
@@ -218,18 +326,24 @@ func (t *Transport) Start(deliver func(mpi.Envelope), lost func(peer int, err er
 // may start in any order (or be mid-restart).
 func (t *Transport) dialPeer(j int, deadline time.Time) error {
 	var lastErr error
-	for {
+	for attempt := 0; ; attempt++ {
 		if time.Now().After(deadline) {
 			if lastErr == nil {
 				lastErr = errors.New("timeout")
 			}
 			return fmt.Errorf("tcptransport: rank %d dial rank %d (%s): %w", t.rank, j, t.peers[j], lastErr)
 		}
+		t.dialAttempts.Add(1)
+		if attempt > 0 {
+			t.redials.Add(1)
+		}
 		c, err := net.DialTimeout("tcp", t.peers[j], time.Until(deadline))
 		if err == nil {
+			hs := time.Now()
 			err = t.handshakeDial(c, j, deadline)
 			if err == nil {
-				t.conns[j] = newPeerConn(j, c, t.opt.MaxFrame)
+				t.pstats[j].handshakeNs.Store(time.Since(hs).Nanoseconds())
+				t.conns[j] = newPeerConn(j, c, t.opt.MaxFrame, &t.pstats[j])
 				return nil
 			}
 			c.Close()
@@ -276,12 +390,14 @@ func (t *Transport) acceptPeers(deadline time.Time) error {
 		if err != nil {
 			return fmt.Errorf("tcptransport: rank %d accept (%d peer(s) missing): %w", t.rank, want, err)
 		}
+		hs := time.Now()
 		j, err := t.handshakeAccept(c, deadline)
 		if err != nil {
 			c.Close() // stray or stale connection; keep waiting for real peers
 			continue
 		}
-		t.conns[j] = newPeerConn(j, c, t.opt.MaxFrame)
+		t.pstats[j].handshakeNs.Store(time.Since(hs).Nanoseconds())
+		t.conns[j] = newPeerConn(j, c, t.opt.MaxFrame, &t.pstats[j])
 		want--
 	}
 	return nil
@@ -350,11 +466,14 @@ func (t *Transport) readLoop(pc *peerConn) {
 			if err == io.EOF {
 				err = errors.New("connection closed without FIN")
 			}
+			t.eofCloses.Add(1)
 			t.lost(pc.rank, err)
 			return
 		}
+		pc.stats.framesRecv.Add(1)
 		if env.Comm == finComm {
 			pc.fin.Store(true)
+			t.finCloses.Add(1)
 			continue
 		}
 		t.deliver(env)
@@ -384,11 +503,11 @@ func (t *Transport) Close(graceful bool) error {
 	return nil
 }
 
-func newPeerConn(rank int, c net.Conn, maxFrame int) *peerConn {
-	pc := &peerConn{rank: rank, c: c}
+func newPeerConn(rank int, c net.Conn, maxFrame int, stats *peerCounters) *peerConn {
+	pc := &peerConn{rank: rank, c: c, stats: stats}
 	pc.bw = newFrameWriter(c)
 	pc.enc = gob.NewEncoder(&pc.buf)
-	pc.fr = &frameReader{r: c, max: uint32(maxFrame)}
+	pc.fr = &frameReader{r: c, max: uint32(maxFrame), recvBytes: &stats.bytesRecv}
 	pc.dec = gob.NewDecoder(pc.fr)
 	return pc
 }
@@ -403,7 +522,12 @@ func (pc *peerConn) writeFrame(env *mpi.Envelope) error {
 	if err := pc.enc.Encode(env); err != nil {
 		return err
 	}
-	return pc.bw.frame(pc.buf.Bytes())
+	if err := pc.bw.frame(pc.buf.Bytes()); err != nil {
+		return err
+	}
+	pc.stats.framesSent.Add(1)
+	pc.stats.bytesSent.Add(int64(4 + pc.buf.Len()))
+	return nil
 }
 
 // frameWriter emits length-prefixed frames with one syscall-sized flush per
@@ -430,10 +554,11 @@ func (w *frameWriter) frame(payload []byte) error {
 // size bound. The persistent gob decoder reads from it; gob's own message
 // framing and the wire frames advance in lockstep (one envelope per frame).
 type frameReader struct {
-	r      io.Reader
-	remain uint32 // bytes left in the current frame
-	max    uint32
-	hdr    [4]byte
+	r         io.Reader
+	remain    uint32 // bytes left in the current frame
+	max       uint32
+	hdr       [4]byte
+	recvBytes *atomic.Int64 // wire bytes consumed (headers + payload)
 }
 
 func (fr *frameReader) Read(p []byte) (int, error) {
@@ -441,6 +566,7 @@ func (fr *frameReader) Read(p []byte) (int, error) {
 		if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
 			return 0, err
 		}
+		fr.recvBytes.Add(4)
 		n := binary.BigEndian.Uint32(fr.hdr[:])
 		if n > fr.max {
 			return 0, fmt.Errorf("tcptransport: frame of %d bytes exceeds limit %d", n, fr.max)
@@ -452,5 +578,6 @@ func (fr *frameReader) Read(p []byte) (int, error) {
 	}
 	n, err := fr.r.Read(p)
 	fr.remain -= uint32(n)
+	fr.recvBytes.Add(int64(n))
 	return n, err
 }

@@ -522,6 +522,21 @@ func (r *Recorder) recordGauge(name string, v float64) {
 	r.mu.Unlock()
 }
 
+// ResetSpans clears the span ring (trace detail) without touching traffic,
+// stage or gauge aggregates. The distributed trace writer calls it at each
+// world incarnation boundary so a per-incarnation trace file never re-exports
+// spans from an earlier incarnation, whose hop clock restarted from zero and
+// would confuse cross-process stitching.
+func (r *Recorder) ResetSpans() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spans = r.spans[:0]
+	r.head = 0
+}
+
 // ResetCounters zeroes traffic, stage and gauge aggregates and clears the
 // span ring; used by tests that want exact deltas around one operation.
 func (r *Recorder) ResetCounters() {

@@ -38,11 +38,31 @@ func spanCategory(name string) string {
 	return name
 }
 
+// TraceMeta identifies the process a Chrome trace was exported from. The
+// trace-merge pass (internal/fleet) relies on it to label stitched timelines
+// "rank/incarnation" and to scope hop-clock ordering constraints to one world
+// incarnation (hop clocks restart from zero when a world is redialed).
+type TraceMeta struct {
+	Rank        int    // world rank the spans belong to
+	Incarnation int    // world incarnation the spans were recorded under
+	Transport   string // transport kind ("local", "tcp", ...)
+}
+
 // WriteChromeTrace serializes every recorder's buffered spans as Chrome
 // trace_event JSON: one process, one thread row per track (rank / patch /
 // region), complete "X" events with hop-clock deltas in args. Load the file
 // in chrome://tracing or https://ui.perfetto.dev.
 func WriteChromeTrace(w io.Writer, recs []*Recorder) error {
+	return WriteChromeTraceTagged(w, recs, nil)
+}
+
+// WriteChromeTraceTagged is WriteChromeTrace plus the cross-process stitching
+// contract: otherData carries the registry epoch as epoch_unix_ns (the wall
+// clock instant span ts 0 corresponds to) and, when meta is non-nil, the
+// rank / incarnation / transport identity; every span with hop-clock data
+// additionally carries absolute h0/h1 hop values in args so a merge pass can
+// causally order spans from different processes.
+func WriteChromeTraceTagged(w io.Writer, recs []*Recorder, meta *TraceMeta) error {
 	tf := traceFile{
 		DisplayTimeUnit: "ms",
 		OtherData: map[string]any{
@@ -53,6 +73,9 @@ func WriteChromeTrace(w io.Writer, recs []*Recorder) error {
 	for _, r := range recs {
 		if r == nil {
 			continue
+		}
+		if _, ok := tf.OtherData["epoch_unix_ns"]; !ok {
+			tf.OtherData["epoch_unix_ns"] = r.epoch.UnixNano()
 		}
 		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
 			Name: "thread_name", Ph: "M", PID: 0, TID: r.tid,
@@ -71,11 +94,19 @@ func WriteChromeTrace(w io.Writer, recs []*Recorder) error {
 				PID:  0,
 				TID:  r.tid,
 			}
-			if sp.Hops1 != sp.Hops0 {
-				ev.Args = map[string]any{"hops": sp.Hops1 - sp.Hops0}
+			if sp.Hops0 != 0 || sp.Hops1 != 0 {
+				ev.Args = map[string]any{"h0": sp.Hops0, "h1": sp.Hops1}
+				if sp.Hops1 != sp.Hops0 {
+					ev.Args["hops"] = sp.Hops1 - sp.Hops0
+				}
 			}
 			tf.TraceEvents = append(tf.TraceEvents, ev)
 		}
+	}
+	if meta != nil {
+		tf.OtherData["rank"] = meta.Rank
+		tf.OtherData["incarnation"] = meta.Incarnation
+		tf.OtherData["transport"] = meta.Transport
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(tf)

@@ -7,7 +7,7 @@
 # OUT=..., used by make bench-compare): a single JSON document with the
 # scaling tables (as emitted by `go run ./cmd/scaling -json`) plus raw
 # `go test -bench` transcripts for the comm, telemetry, monitor, checkpoint,
-# in-situ and transport suites.
+# in-situ, transport and cluster observability suites.
 #
 # Usage: scripts/bench.sh   (or: make bench-telemetry)
 set -eu
@@ -44,12 +44,16 @@ echo "== transport benchmarks (in-process vs TCP loopback, p2p + Bcast) =="
 transport=$(go test -run '^$' -bench 'BenchmarkTransport' -benchmem ./internal/mpi/tcptransport 2>&1)
 printf '%s\n' "$transport"
 
+echo "== cluster benchmarks (journal append, aggregation, exposition, trace merge, disabled hooks) =="
+cluster=$(go test -run '^$' -bench 'Benchmark' -benchmem ./internal/fleet 2>&1)
+printf '%s\n' "$cluster"
+
 echo "== scaling tables (cmd/scaling -json) =="
 tables=$(go run ./cmd/scaling -json)
 
 # Assemble the bundle without extra tooling: the bench transcripts are
 # embedded as JSON string arrays (one element per line) via go run so we
 # need no jq/python in the container.
-COMM="$comm" TELE="$tele" MONITOR="$mon" CKPT="$ckpt" INSITU="$insitu" TRANSPORT="$transport" TABLES="$tables" go run ./scripts/benchjson >"$out"
+COMM="$comm" TELE="$tele" MONITOR="$mon" CKPT="$ckpt" INSITU="$insitu" TRANSPORT="$transport" CLUSTER="$cluster" TABLES="$tables" go run ./scripts/benchjson >"$out"
 
 echo "wrote $out"

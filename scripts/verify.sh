@@ -9,7 +9,7 @@ set -eux
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/mpi/... ./internal/mci/... ./internal/core/... ./internal/telemetry/... ./internal/monitor/... ./internal/checkpoint/... ./internal/insitu/...
+go test -race ./internal/mpi/... ./internal/mci/... ./internal/core/... ./internal/telemetry/... ./internal/monitor/... ./internal/checkpoint/... ./internal/insitu/... ./internal/fleet/...
 
 # Zero-cost-when-disabled guards: instrumentation on a nil recorder and
 # watchdog probes on a nil bundle must allocate nothing and stay within a few
@@ -17,6 +17,7 @@ go test -race ./internal/mpi/... ./internal/mci/... ./internal/core/... ./intern
 go test -run TestDisabledPathNearZeroCost -count=1 ./internal/telemetry
 go test -run TestMonitorDisabledZeroCost -count=1 ./internal/monitor
 go test -run TestInsituDisabledZeroCost -count=1 ./internal/core
+go test -run TestFleetDisabledZeroCost -count=1 ./internal/fleet
 
 # Fault-injection smoke: a rank killed mid-run by the deterministic fault
 # harness must dump flight telemetry, resume from the last good checkpoint
@@ -39,3 +40,13 @@ go test -run 'TestInsituNonBlockingStall' -count=1 ./internal/insitu
 go test -race -run 'TestConformance|TestTCPPeerDeath' -count=1 ./internal/mpi/tcptransport
 go test -race -run 'TestIrecvNonOvertaking|TestAbandonedIrecv' -count=1 ./internal/mpi
 go test -run 'TestDistributedRecoverySurvivesProcessKill' -count=1 ./internal/core
+
+# Cluster observability acceptance (PR 7). The transport stats tests pin the
+# per-peer wire counters and the FIN-vs-EOF close taxonomy; the scrape test
+# hammers /metrics and /healthz from scraper goroutines while a two-rank TCP
+# world steps (under the race detector — scrapes read what the ranks write);
+# the kill -9 acceptance requires the journal lineage, the healthz 503->200
+# latch cycle, /events byte-stability and a violation-free merged trace.
+go test -race -run 'TestTransportStats|TestStatsAddFoldsIncarnations' -count=1 ./internal/mpi/tcptransport
+go test -race -run 'TestScrapeWhileWorldSteps' -count=1 ./internal/monitor
+go test -run 'TestClusterObservabilitySurvivesProcessKill' -count=1 ./internal/core
