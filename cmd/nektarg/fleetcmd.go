@@ -76,17 +76,32 @@ func runEvents(args []string) {
 		fs.Usage()
 		os.Exit(2)
 	}
-	events, err := fleet.ReadJournal(fs.Arg(0))
-	if err != nil {
+	// Scan rather than Read: an operator inspecting a journal after an
+	// incident must not mistake a silently shortened history for the whole
+	// story. The intact prefix still prints (it is genuine evidence), but
+	// mid-file corruption or a torn tail then fails the command with the
+	// reason on stderr.
+	events, rep, err := fleet.ScanJournal(fs.Arg(0))
+	if err != nil && len(events) == 0 && rep.ValidOffset == 0 && rep.FileSize == 0 {
+		// Not even a file to salvage records from (open/stat failure).
 		log.Fatal(err)
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(events); err != nil {
-			log.Fatal(err)
+		if jerr := enc.Encode(events); jerr != nil {
+			log.Fatal(jerr)
 		}
-		return
+	} else {
+		fleet.WriteEventsText(os.Stdout, events)
 	}
-	fleet.WriteEventsText(os.Stdout, events)
+	switch {
+	case err != nil:
+		log.Printf("journal corrupt: %v (printed the %d intact record(s) before it)", err, len(events))
+		os.Exit(1)
+	case rep.Torn:
+		log.Printf("journal has a torn tail: %d trailing byte(s) after offset %d do not form a complete record (crash mid-append; printed the %d intact record(s))",
+			rep.FileSize-rep.ValidOffset, rep.ValidOffset, len(events))
+		os.Exit(1)
+	}
 }

@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"nektarg/internal/audit"
 	"nektarg/internal/fleet"
 	"nektarg/internal/monitor"
 	"nektarg/internal/telemetry"
@@ -143,6 +144,27 @@ func (fw *fleetWire) journalOrNil() *fleet.Journal {
 		return nil
 	}
 	return fw.journal
+}
+
+// bindAudit routes audit-ledger violations into the run-event journal, so an
+// operator replaying a failed run sees exactly which conservation budget broke
+// and at which exchange. Nil wire, nil journal or nil ledger all no-op.
+func (fw *fleetWire) bindAudit(led *audit.Ledger) {
+	if fw == nil || fw.journal == nil || led == nil {
+		return
+	}
+	j := fw.journal
+	led.OnViolation(func(v audit.Violation) {
+		j.Record(fleet.EventAuditViolation, map[string]any{
+			"budget":   v.Budget,
+			"kind":     v.Kind,
+			"severity": v.Severity.String(),
+			"value":    v.Value,
+			"limit":    v.Limit,
+			"exchange": v.Exchange,
+			"message":  v.Message,
+		})
+	})
 }
 
 // afterExchange is the per-exchange hook: publish the status, check the drop

@@ -14,6 +14,7 @@
 //	                     [-max-restarts N] [-kill-at N] [-flight-max N]
 //	                     [-insitu] [-insitu-stride N] [-insitu-policy P]
 //	                     [-insitu-dir DIR] [-insitu-keep K]
+//	                     [-audit] [-flux-scale S]
 //	                     [-transport tcp -rank N -peers H:P,H:P,...]
 //	                     [-fleet-addr :9190] [-fleet-publish URL] [-version]
 //	go run ./cmd/nektarg trace-merge [-o out.json] [-strict] trace1.json trace2.json ...
@@ -34,6 +35,15 @@
 // With -monitor-addr the run serves live Prometheus metrics, a JSON health
 // verdict and pprof endpoints while it executes (see internal/monitor);
 // solver watchdogs then guard fields against NaN/Inf and trip /healthz.
+//
+// With -audit the run keeps a physics audit ledger (see internal/audit):
+// per-exchange conservation and coupling-fidelity budgets — 3D mass/energy,
+// interface flux continuity, DPD momentum/temperature, 1D network mass
+// balance — judged against tolerance bands with step-change and slow-leak
+// detection. Combined with -monitor-addr the ledger serves GET /audit and
+// nektarg_audit_* Prometheus series, and an audit critical trips /healthz
+// and fires a flight dump. -flux-scale != 1 deliberately violates interface
+// flux continuity to demonstrate the ledger catching a coupling fault.
 //
 // With -insitu the run additionally publishes downsampled snapshots (patch
 // velocity/pressure slabs, DPD particle subsamples, interface triangulations)
@@ -74,6 +84,7 @@ import (
 	"strings"
 	"time"
 
+	"nektarg/internal/audit"
 	"nektarg/internal/checkpoint"
 	"nektarg/internal/config"
 	"nektarg/internal/core"
@@ -102,14 +113,16 @@ type telemetryOpts struct {
 	insituCfg   insitu.Config
 	insituDir   string // -insitu-dir: rolling VTK series directory
 	insituKeep  int    // -insitu-keep: frames kept on disk
+	auditOn     bool   // -audit: physics conservation/coupling-fidelity ledger
+	auditTol    audit.Tolerance
 	logger      *slog.Logger
 }
 
 // active reports whether any telemetry output was requested; asking for a
-// trace, a summary file, a live monitor or in-situ observation implies
-// enabling the recorders.
+// trace, a summary file, a live monitor, in-situ observation or the physics
+// audit ledger implies enabling the recorders.
 func (o telemetryOpts) active() bool {
-	return o.enabled || o.traceOut != "" || o.jsonOut != "" || o.monitorAddr != "" || o.insituOn
+	return o.enabled || o.traceOut != "" || o.jsonOut != "" || o.monitorAddr != "" || o.insituOn || o.auditOn
 }
 
 // insituState is the running in-situ pipeline: closed and drained at exit so
@@ -186,14 +199,39 @@ func (o telemetryOpts) setup(meta *core.Metasolver, tree *nektar1d.Network) (*te
 	if tree != nil {
 		tree.Rec = reg.NewRecorder("1d:tree")
 	}
-	if o.monitorAddr == "" {
-		return reg, nil, nil
+	var mon *monitor.Monitor
+	if o.monitorAddr != "" {
+		mon = monitor.New(reg, monitor.Options{FlightLimit: o.flightMax})
+		mon.Health().SetLogger(o.logger)
+		meta.EnableMonitoring(mon.Health())
+		if tree != nil {
+			tree.Watch = mon.Health().Watch("1d:tree")
+		}
 	}
-	mon := monitor.New(reg, monitor.Options{FlightLimit: o.flightMax})
-	mon.Health().SetLogger(o.logger)
-	meta.EnableMonitoring(mon.Health())
-	if tree != nil {
-		tree.Watch = mon.Health().Watch("1d:tree")
+	if o.auditOn {
+		// The ledger's watchdog bundle rides the health plane when a monitor
+		// exists (audit criticals then trip /healthz and fire flight dumps via
+		// the existing OnTrip wiring); without one it runs standalone.
+		var watch *monitor.Watchdogs
+		if mon != nil {
+			watch = mon.Health().Watch("audit")
+		}
+		led := audit.New(audit.Options{
+			Rec:       reg.NewRecorder("audit"),
+			Watch:     watch,
+			Tolerance: o.auditTol,
+		})
+		meta.EnableAudit(led)
+		if mon != nil {
+			// Only wire a real ledger: a typed-nil AuditSource would make
+			// /audit serve an empty document instead of 404ing.
+			mon.SetAuditSource(led)
+			mon.AddStatSource(led.Stats)
+		}
+		o.logger.Info("physics audit ledger enabled", "monitored", mon != nil)
+	}
+	if mon == nil {
+		return reg, nil, nil
 	}
 	srv, err := mon.Serve(o.monitorAddr)
 	if err != nil {
@@ -227,6 +265,14 @@ func (o telemetryOpts) report(reg *telemetry.Registry, mon *monitor.Monitor, met
 			fmt.Print(monitor.FormatImbalanceTable(imb))
 		}
 		fmt.Printf("coupling overhead: %.2f%% of step time\n", 100*meta.CouplingOverhead())
+	}
+	if led := meta.Audit(); led != nil {
+		fmt.Println("\n--- physics audit ---")
+		fmt.Print(led.FormatTable())
+		if !led.Healthy() {
+			o.logger.Error("physics audit finished with a latched critical budget",
+				"worst", led.Status().Worst.String(), "violations", led.Status().Violations)
+		}
 	}
 	if mon != nil && !mon.Health().Healthy() {
 		v := mon.Health().Verdict()
@@ -503,6 +549,8 @@ func main() {
 	insituPolicy := flag.String("insitu-policy", "drop-oldest", "queue drop policy: drop-oldest|drop-newest")
 	insituDir := flag.String("insitu-dir", "", "rolling VTK time-series directory (empty = in-memory frames only)")
 	insituKeep := flag.Int("insitu-keep", insitu.DefaultKeep, "frames kept in the rolling VTK series")
+	auditOn := flag.Bool("audit", false, "enable the physics audit ledger: per-exchange conservation and coupling-fidelity budgets (implies telemetry recording; pairs with -monitor-addr for GET /audit)")
+	fluxScale := flag.Float64("flux-scale", 1, "scale applied to the 3D->DPD interface velocity trace at application (a value != 1 is a deliberate conservation fault the audit ledger must catch)")
 	fleetAddr := flag.String("fleet-addr", "", "serve the fleet aggregation endpoints (/cluster/metrics, /cluster/healthz, /cluster/imbalance, /events) on this address (e.g. :9190)")
 	fleetPublish := flag.String("fleet-publish", "", "base URL of a fleet aggregator to publish this process's status to (e.g. http://127.0.0.1:9190; requires -monitor-addr)")
 	fleetStride := flag.Int("fleet-stride", 1, "publish to the fleet aggregator every N exchanges")
@@ -534,6 +582,7 @@ func main() {
 		insituCfg:  insitu.Config{Stride: *insituStride, Policy: policy},
 		insituDir:  *insituDir,
 		insituKeep: *insituKeep,
+		auditOn:    *auditOn,
 		logger:     logger}
 	ropts := restartOpts{dir: *ckptDir, every: *ckptEvery, resume: *resume,
 		maxRestarts: *maxRestarts, killAt: *killAt, flightMax: *flightMax, logger: logger}
@@ -614,6 +663,7 @@ func main() {
 		NSUnits:       core.Units{L: 1e-3, Nu: 0.5},
 		DPDUnits:      core.Units{L: 2e-5, Nu: 0.2},
 		VelocityBoost: 120,
+		FluxScale:     *fluxScale,
 		Interfaces: []*geometry.Surface{geometry.PlanarRect("gammaIn",
 			geometry.Vec3{}, geometry.Vec3{Y: 10}, geometry.Vec3{Z: 10}, 3, 3)},
 		FluxFaces: []*dpd.FluxBC{inflow},
@@ -643,6 +693,11 @@ func main() {
 	if srv != nil {
 		defer srv.Close() //nolint:errcheck // exiting anyway
 	}
+	if to1d != nil {
+		// The 1D bridge audits its own budgets (network mass balance, 1D/3D
+		// flow-rate match); nil ledger keeps it on the no-op path.
+		to1d.Aud = meta.Audit()
+	}
 	ist := startInsitu(meta, reg, topts)
 	if mon != nil && ist != nil {
 		mon.SetSnapshotSource(ist.obs)
@@ -652,6 +707,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer fw.close()
+	fw.bindAudit(meta.Audit())
 
 	dof := 0
 	for _, p := range patches {
@@ -774,6 +830,13 @@ func runFromConfig(path string, exchanges int, vtkDir string, topts telemetryOpt
 			topts.insituKeep = cfg.Insitu.Keep
 		}
 	}
+	// A config-level audit block enables the conservation ledger unless the
+	// -audit flag already did; the file's band overrides apply either way
+	// (zero fields inherit the built-in defaults).
+	if cfg.Audit != nil {
+		topts.auditOn = true
+		topts.auditTol = audit.Tolerance{Warn: cfg.Audit.Warn, Critical: cfg.Audit.Critical}
+	}
 	logger.Info("config loaded", "path", path,
 		"patches", len(b.Meta.Patches), "couplings", len(b.Meta.Couplings), "regions", len(b.Meta.Atomistic))
 	reg, mon, srv := topts.setup(b.Meta, nil)
@@ -789,6 +852,7 @@ func runFromConfig(path string, exchanges int, vtkDir string, topts telemetryOpt
 		log.Fatal(err)
 	}
 	defer fw.close()
+	fw.bindAudit(b.Meta.Audit())
 	killed := false
 	onExchange := func(e int) error {
 		attrs := []any{"exchange", e, "max_div", maxDivergence(b.Meta.Patches)}

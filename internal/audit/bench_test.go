@@ -1,0 +1,109 @@
+package audit
+
+import (
+	"io"
+	"testing"
+)
+
+// TestAuditDisabledZeroCost pins the nil-is-disabled contract: every audit
+// hook the metasolver calls unconditionally per exchange must cost zero
+// allocations when the plane is off. verify.sh runs this by name.
+func TestAuditDisabledZeroCost(t *testing.T) {
+	var l *Ledger
+	if n := testing.AllocsPerRun(1000, func() {
+		l.ObserveResidual("gi.flux:omegaA", 0.01, 1.0)
+		l.ObserveDrift("mass.div:pipe", 1e-9)
+		l.CountExchange("omegaA", 4096, 4096, 4096)
+		l.EndExchange(3)
+		if !l.Healthy() {
+			t.Fatal("nil ledger unhealthy")
+		}
+	}); n != 0 {
+		t.Fatalf("disabled per-exchange hooks allocate %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if l.Stats() != nil || l.CaptureState() != nil {
+			t.Fatal("nil ledger produced output")
+		}
+		l.ApplyState(nil)
+	}); n != 0 {
+		t.Fatalf("disabled scrape/checkpoint hooks allocate %.1f/op, want 0", n)
+	}
+}
+
+// BenchmarkAuditDisabledHook is the cost the metasolver pays per exchange
+// with the plane off: a handful of nil checks.
+func BenchmarkAuditDisabledHook(b *testing.B) {
+	var l *Ledger
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.ObserveResidual("gi.flux:omegaA", 0.01, 1.0)
+		l.ObserveDrift("mass.div:pipe", 1e-9)
+		l.CountExchange("omegaA", 4096, 4096, 4096)
+		l.EndExchange(i)
+	}
+}
+
+// BenchmarkAuditExchangeUpdate is one full enabled per-exchange ledger
+// update over a representative budget set (the acceptance scenario's nine
+// budgets), including band judgement and EMA adaptation.
+func BenchmarkAuditExchangeUpdate(b *testing.B) {
+	l := New(Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.ObserveDrift("mass.div:pipeA", 1e-9)
+		l.ObserveDrift("mass.div:pipeB", 2e-9)
+		l.ObserveDrift("energy.kinetic:pipeA", 0.42)
+		l.ObserveDrift("energy.kinetic:pipeB", 0.40)
+		l.ObserveResidual("gi.flux:omegaA", 0.001, 1.0)
+		l.CountExchange("omegaA", 4096, 4096, 4096)
+		l.ObserveDrift("momentum:omegaA", 0.02)
+		l.ObserveResidual("temperature:omegaA", 0.05, 1.0)
+		l.ObserveDrift("1d.mass:tree", 1e-6)
+		l.ObserveResidual("q.match:pipeB:x1", 0.001, 0.1)
+		l.EndExchange(i)
+	}
+}
+
+// BenchmarkAuditExposition is one /audit scrape (status snapshot + JSON
+// encode) against a live nine-budget ledger.
+func BenchmarkAuditExposition(b *testing.B) {
+	l := New(Options{})
+	for i := 0; i < 16; i++ {
+		l.ObserveDrift("mass.div:pipeA", 1e-9)
+		l.ObserveDrift("energy.kinetic:pipeA", 0.42)
+		l.ObserveResidual("gi.flux:omegaA", 0.001, 1.0)
+		l.CountExchange("omegaA", 4096, 4096, 4096)
+		l.ObserveDrift("momentum:omegaA", 0.02)
+		l.ObserveResidual("temperature:omegaA", 0.05, 1.0)
+		l.ObserveDrift("1d.mass:tree", 1e-6)
+		l.ObserveResidual("q.match:pipeB:x1", 0.001, 0.1)
+		l.EndExchange(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.WriteJSON(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAuditStats is the Prometheus stat-source poll the monitor makes
+// per scrape.
+func BenchmarkAuditStats(b *testing.B) {
+	l := New(Options{})
+	for i := 0; i < 16; i++ {
+		l.ObserveDrift("mass.div:pipeA", 1e-9)
+		l.ObserveResidual("gi.flux:omegaA", 0.001, 1.0)
+		l.ObserveDrift("1d.mass:tree", 1e-6)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := l.Stats(); len(s) == 0 {
+			b.Fatal("empty stats")
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Ledger state capture/restore. The ledger's budgets are part of the
+// resumable physics state: EMAs, references, baselines and latched
+// severities must survive a kill -9 exactly, or a resumed run would re-seed
+// its drift baselines from mid-run values and a slow leak that started
+// before the checkpoint would vanish from the books. State round-trips
+// bit-exactly (float64 fields are copied, never recomputed), which is what
+// the resume-continuity acceptance test pins: N+M exchanges through a
+// checkpoint round-trip must equal N+M straight, bit for bit.
+package audit
+
+import "sort"
+
+// BudgetState is the serializable subset of one budget.
+type BudgetState struct {
+	Name     string
+	Mode     string
+	Count    int64
+	Rel      float64
+	EMA      float64
+	Ref      float64
+	Baseline float64
+	Seeded   bool
+	// StepSeverity and LeakSeverity restore the latch discipline: a
+	// critical latched before the checkpoint stays latched after resume.
+	StepSeverity Severity
+	LeakSeverity Severity
+	Violations   int64
+}
+
+// State is the gob-serializable ledger snapshot stored in
+// checkpoint.Coupled (format v3).
+type State struct {
+	Exchanges     int64
+	BytesSent     int64
+	BytesReceived int64
+	BytesApplied  int64
+	// Budgets is sorted by name so two captures of equal ledgers are
+	// DeepEqual regardless of observation order.
+	Budgets []BudgetState
+}
+
+// CaptureState snapshots the ledger for checkpointing. Nil ledger → nil
+// state (the checkpoint simply omits the audit section).
+func (l *Ledger) CaptureState() *State {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := &State{
+		Exchanges:     l.exchanges,
+		BytesSent:     l.bytesSent,
+		BytesReceived: l.bytesReceived,
+		BytesApplied:  l.bytesApplied,
+	}
+	for _, b := range l.budgets {
+		st.Budgets = append(st.Budgets, BudgetState{
+			Name: b.name, Mode: b.mode, Count: b.count,
+			Rel: b.rel, EMA: b.ema, Ref: b.ref, Baseline: b.baseline,
+			Seeded:       b.seeded,
+			StepSeverity: b.stepSev, LeakSeverity: b.leakSev,
+			Violations: b.violations,
+		})
+	}
+	sort.Slice(st.Budgets, func(i, j int) bool { return st.Budgets[i].Name < st.Budgets[j].Name })
+	return st
+}
+
+// ApplyState overlays a captured snapshot onto the ledger, replacing all
+// live budgets — the restore half of the round-trip. Tolerances are
+// configuration, not state: each restored budget re-resolves its bands from
+// the ledger's current tables, so a retuned tolerance applies to resumed
+// runs too. A nil state is a no-op (resuming a pre-v3 checkpoint leaves the
+// fresh ledger to re-seed from the restored physics, the best available
+// behaviour for legacy bundles).
+func (l *Ledger) ApplyState(st *State) {
+	if l == nil || st == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.exchanges = st.Exchanges
+	l.bytesSent = st.BytesSent
+	l.bytesReceived = st.BytesReceived
+	l.bytesApplied = st.BytesApplied
+	l.budgets = make(map[string]*budget, len(st.Budgets))
+	l.order = l.order[:0]
+	for _, bs := range st.Budgets {
+		l.budgets[bs.Name] = &budget{
+			name: bs.Name, tol: l.toleranceForLocked(bs.Name), mode: bs.Mode,
+			count: bs.Count, rel: bs.Rel, ema: bs.EMA,
+			ref: bs.Ref, baseline: bs.Baseline, seeded: bs.Seeded,
+			stepSev: bs.StepSeverity, leakSev: bs.LeakSeverity,
+			violations: bs.Violations,
+		}
+		l.order = append(l.order, bs.Name)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 
+	"nektarg/internal/audit"
 	"nektarg/internal/dpd"
 	"nektarg/internal/nektar1d"
 	"nektarg/internal/nektar3d"
@@ -42,17 +43,26 @@ type Coupled struct {
 	// Introduced in format v2; nil in v1 bundles, whose resume silently
 	// reset the peripheral circulation to t = 0.
 	Networks map[string]nektar1d.NetworkState
+	// Audit holds the physics audit ledger — per-budget EMAs, drift
+	// references/baselines and latched severities — so conservation
+	// budgets stay bit-exact across kill -9 and a pre-checkpoint slow
+	// leak stays on the books after resume. Introduced in format v3; nil
+	// in older bundles and in runs with the audit plane disabled.
+	Audit *audit.State
 }
 
 // Format versions. v1 predates Networks and the dpd RNG/face-accumulator
-// capture; Load still accepts it (the missing state restores to zero values
-// and the dpd RNG reseeds from Params.Seed). Save only writes the current
-// version.
+// capture; v2 predates the audit ledger. Load still accepts both (the
+// missing state restores to zero values, the dpd RNG reseeds from
+// Params.Seed, and a fresh ledger re-seeds from the restored physics).
+// Save only writes the current version.
 const (
 	// FormatV1 is the legacy format: no 1D networks, no RNG stream state.
 	FormatV1 = 1
-	// FormatVersion is the current checkpoint format.
-	FormatVersion = 2
+	// FormatV2 added the 1D network states and dpd RNG/accumulator capture.
+	FormatV2 = 2
+	// FormatVersion is the current checkpoint format (v3: audit ledger).
+	FormatVersion = 3
 )
 
 // NewCoupled creates an empty bundle at the current format version.
@@ -85,20 +95,21 @@ func Save(w io.Writer, c *Coupled) error {
 }
 
 // Load reads a bundle written by Save. It accepts the current format and the
-// legacy v1 format (whose bundles carry no Networks map and no dpd RNG
-// stream state); anything else — including a zero version, the signature of
-// a bundle that was never initialized — is an error. Maps absent from old
-// streams are materialized empty so callers can range without nil checks.
+// legacy v1/v2 formats (v1 bundles carry no Networks map and no dpd RNG
+// stream state; v2 bundles carry no audit ledger); anything else — including
+// a zero version, the signature of a bundle that was never initialized — is
+// an error. Maps absent from old streams are materialized empty so callers
+// can range without nil checks; the Audit pointer stays nil for old bundles.
 func Load(r io.Reader) (*Coupled, error) {
 	var c Coupled
 	if err := gob.NewDecoder(r).Decode(&c); err != nil {
 		return nil, fmt.Errorf("checkpoint: decode: %w", err)
 	}
 	switch c.Version {
-	case FormatVersion, FormatV1:
+	case FormatVersion, FormatV2, FormatV1:
 	default:
-		return nil, fmt.Errorf("checkpoint: format version %d, want %d (or legacy %d)",
-			c.Version, FormatVersion, FormatV1)
+		return nil, fmt.Errorf("checkpoint: format version %d, want %d (or legacy %d/%d)",
+			c.Version, FormatVersion, FormatV2, FormatV1)
 	}
 	if c.Patches == nil {
 		c.Patches = map[string]nektar3d.State{}

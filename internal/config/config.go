@@ -85,12 +85,27 @@ type Region struct {
 	// InterfaceDivisions triangulates the inflow face (default 3x3).
 	InterfaceDivisions int        `json:"interfaceDivisions"`
 	Platelets          *Platelets `json:"platelets"`
+	// FluxScale multiplies the 3D->DPD interface velocity trace at
+	// application (0 means 1). Anything other than 1 is a deliberate
+	// conservation fault: the audit ledger's gi.flux budget must catch it.
+	FluxScale float64 `json:"fluxScale"`
 }
 
 // Exchange sets the time progression.
 type Exchange struct {
 	NSSteps  int `json:"nsSteps"`  // per exchange period (default 10)
 	DPDPerNS int `json:"dpdPerNs"` // DPD steps per NS step (default 20)
+}
+
+// Audit enables the physics audit ledger (internal/audit): per-exchange
+// conservation and coupling-fidelity budgets judged against tolerance bands.
+// Presence of the block enables auditing; zero fields keep the built-in
+// default bands.
+type Audit struct {
+	// Warn and Critical override the base step-change bands (relative
+	// magnitudes) for every budget class that doesn't carry its own.
+	Warn     float64 `json:"warn"`
+	Critical float64 `json:"critical"`
 }
 
 // Insitu configures the live observation pipeline (internal/insitu): a
@@ -179,6 +194,7 @@ type Config struct {
 	Regions   []Region   `json:"regions"`
 	Exchange  Exchange   `json:"exchange"`
 	Insitu    *Insitu    `json:"insitu,omitempty"`
+	Audit     *Audit     `json:"audit,omitempty"`
 	Transport *Transport `json:"transport,omitempty"`
 }
 
@@ -375,6 +391,7 @@ func buildRegion(rc Region) (*core.AtomisticRegion, *platelet.Model, error) {
 		NSUnits:       core.Units{L: rc.NSUnits.L, Nu: rc.NSUnits.Nu},
 		DPDUnits:      core.Units{L: rc.DPDUnits.L, Nu: rc.DPDUnits.Nu},
 		VelocityBoost: rc.Boost,
+		FluxScale:     rc.FluxScale,
 		Interfaces:    []*geometry.Surface{surf},
 		FluxFaces:     []*dpd.FluxBC{inflow},
 	}

@@ -44,6 +44,10 @@ func (m *Metasolver) CaptureCheckpoint(networks map[string]*nektar1d.Network) *c
 	for name, net := range networks {
 		c.Networks[name] = net.CaptureState()
 	}
+	// The audit ledger rides along so conservation budgets (EMAs, drift
+	// baselines, latched severities) stay bit-exact across kill -9; nil
+	// when the audit plane is disabled.
+	c.Audit = m.aud.CaptureState()
 	return c
 }
 
@@ -97,6 +101,13 @@ func (m *Metasolver) RestoreCheckpoint(c *checkpoint.Coupled, networks map[strin
 		}
 	}
 	m.Exchanges = c.Exchanges
+	// Overlay the ledger last: restoring an older, clean ledger state is
+	// what un-latches an audit critical that postdates the checkpoint
+	// (RearmWatchdogs deliberately leaves the ledger alone — ApplyState is
+	// the last word on its latches). A pre-v3 bundle or an audit-disabled
+	// capture carries nil and leaves the live ledger to re-seed its drift
+	// baselines from the restored physics.
+	m.aud.ApplyState(c.Audit)
 	return nil
 }
 

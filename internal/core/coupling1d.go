@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"nektarg/internal/audit"
 	"nektarg/internal/nektar1d"
 )
 
@@ -22,6 +23,14 @@ type OutletTo1D struct {
 	// AreaScale converts the face-integrated 3D flow (continuum units) to
 	// the 1D solver's flow units; 0 means 1.
 	AreaScale float64
+
+	// Aud is the optional physics audit ledger. When set, every Exchange
+	// feeds two budgets: the network's mass-balance invariant
+	// (1d.mass:<outlet>, TotalVolume − ∫Q_in + ∫Q_out including the
+	// windkessel terminal outflow) and the 1D↔3D flow-rate mismatch
+	// (q.match:<outlet>, realized 1D inlet flow vs the commanded 3D outlet
+	// flow). Nil disables both at nil-receiver cost.
+	Aud *audit.Ledger
 
 	// lastQ is the most recent flow rate handed to the 1D side.
 	lastQ float64
@@ -104,5 +113,23 @@ func (c *OutletTo1D) Exchange(dt1D float64) (q float64, inletPressure float64, e
 			return c.lastQ, 0, fmt.Errorf("core: 1D network: %w", err)
 		}
 	}
+	c.auditExchange()
 	return c.lastQ, c.Inlet.Seg.Pressure(0), nil
+}
+
+// auditExchange feeds the coupling's two audit budgets after the network
+// has caught up to the patch time.
+func (c *OutletTo1D) auditExchange() {
+	if c.Aud == nil {
+		return
+	}
+	id := c.Patch.Name + ":" + c.Face
+	// The discrete invariant of a conservative scheme: current stored
+	// volume minus everything admitted plus everything discharged stays at
+	// the initial volume (up to truncation error). A drift budget watches
+	// both step jumps and the slow leak of the adapting reference.
+	c.Aud.ObserveDrift("1d.mass:"+id, c.Network.TotalVolume()-c.Network.InVol+c.Network.OutVol)
+	// The realized inflow at the 1D inlet node versus the flow the 3D face
+	// commanded: a mismatch is a coupling-application defect.
+	c.Aud.ObserveResidual("q.match:"+id, c.Inlet.Seg.Flow(0)-c.lastQ, c.lastQ)
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sync"
 
+	"nektarg/internal/audit"
 	"nektarg/internal/dpd"
 	"nektarg/internal/geometry"
 	"nektarg/internal/monitor"
@@ -94,6 +95,14 @@ type AtomisticRegion struct {
 	Interfaces []*geometry.Surface
 	// Flux faces paired with the interfaces, receiving the scaled velocity.
 	FluxFaces []*dpd.FluxBC
+	// FluxScale multiplies the velocity trace at the point of application —
+	// after the Eq. 1 scaling, after the audit ledger has recorded what the
+	// continuum side sent. 0 means 1 (faithful application). Any other
+	// value is a deliberate conservation fault: the flux BC then injects
+	// more (or less) momentum than ΓI continuity allows, which the
+	// gi.flux audit budget must catch long before the NaN guard does. The
+	// fault-injection acceptance test and `nektarg -flux-scale` use it.
+	FluxScale float64
 }
 
 // DPDToGlobal converts a DPD-frame point into global continuum coordinates.
@@ -114,6 +123,15 @@ func (a *AtomisticRegion) boost() float64 {
 		return 1
 	}
 	return a.VelocityBoost
+}
+
+// fluxScale returns the FluxScale fault knob's effective value (1 when
+// unset: faithful application).
+func (a *AtomisticRegion) fluxScale() float64 {
+	if a.FluxScale == 0 {
+		return 1
+	}
+	return a.FluxScale
 }
 
 // Metasolver advances the coupled system with the staggered time progression
@@ -147,6 +165,10 @@ type Metasolver struct {
 	// pub is the in-situ frame publisher (track: live observation); nil until
 	// EnableInsitu is called. See insitu.go in this package.
 	pub FramePublisher
+
+	// aud is the physics conservation ledger (fed once per exchange); nil
+	// until EnableAudit is called. See audit.go in this package.
+	aud *audit.Ledger
 }
 
 // NewMetasolver applies the paper's default time-progression ratios.
@@ -180,6 +202,9 @@ func (m *Metasolver) ExchangeInterfaceConditions() error {
 // result as the DPD flux-face inflow profiles.
 func (m *Metasolver) coupleAtomistic(a *AtomisticRegion) error {
 	vscale := VelocityScale(a.NSUnits, a.DPDUnits) * a.boost()
+	fscale := a.fluxScale()
+	var sentMag, defect float64
+	var nCentroids int
 	for k, surf := range a.Interfaces {
 		if k >= len(a.FluxFaces) {
 			return fmt.Errorf("core: region %q has %d interfaces but %d flux faces",
@@ -194,10 +219,16 @@ func (m *Metasolver) coupleAtomistic(a *AtomisticRegion) error {
 				return fmt.Errorf("core: interface %q centroid %v owned by no patch", surf.Name, g)
 			}
 			u, v, w := owner.SampleVelocity(g)
-			vels[i] = geometry.Vec3{X: u, Y: v, Z: w}.Scale(vscale)
+			sent := geometry.Vec3{X: u, Y: v, Z: w}.Scale(vscale)
+			applied := sent.Scale(fscale)
+			sentMag += sent.Norm()
+			defect += applied.Sub(sent).Norm()
+			vels[i] = applied
 		}
+		nCentroids += len(centroids)
 		installFluxProfile(a.FluxFaces[k], surf, centroids, vels)
 	}
+	m.auditGammaI(a, sentMag, defect, nCentroids)
 	return nil
 }
 
@@ -284,6 +315,7 @@ func (m *Metasolver) Advance(n int) error {
 				return fmt.Errorf("core: patch %q: %w", m.Patches[i].Name, err)
 			}
 		}
+		m.auditExchange()
 		m.publishInsitu()
 		if m.log != nil {
 			var t float64

@@ -535,6 +535,18 @@ func (s *System) Temperature() float64 {
 	return ke / (3 * float64(n))
 }
 
+// MobileCount returns the number of non-frozen particles — the population
+// TotalMomentum and Temperature average over.
+func (s *System) MobileCount() int {
+	var n int
+	for i := range s.Particles {
+		if !s.Particles[i].Frozen {
+			n++
+		}
+	}
+	return n
+}
+
 // NumberDensity returns N/V over mobile particles.
 func (s *System) NumberDensity() float64 {
 	var n int

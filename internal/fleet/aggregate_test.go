@@ -1,18 +1,24 @@
 package fleet
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"flag"
 	"io"
 	"net/http"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"nektarg/internal/audit"
 	"nektarg/internal/monitor"
 	"nektarg/internal/telemetry"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
 
 func healthyStatus(proc string, rank int) ProcessStatus {
 	s := &telemetry.Snapshot{
@@ -138,6 +144,94 @@ func TestClusterMetricsExposition(t *testing.T) {
 	}
 	if strip(a1) != strip(a2) {
 		t.Fatal("cluster metrics exposition is not deterministic")
+	}
+}
+
+// auditedStatus is healthyStatus plus the physics-audit stats a violating
+// rank would publish (a real ledger driven to a critical, so the exposition
+// pins the audit package's actual family names, labels and HELP text).
+func auditedStatus(proc string, rank int) ProcessStatus {
+	led := audit.New(audit.Options{})
+	led.ObserveResidual("gi.flux:insert", 0, 1)
+	led.EndExchange(1)
+	led.ObserveResidual("gi.flux:insert", 0.5, 1) // 50% defect: critical
+	led.EndExchange(2)
+	st := healthyStatus(proc, rank)
+	st.Stats = append(st.Stats, led.Stats()...)
+	return st
+}
+
+// TestGoldenClusterMetrics pins the /cluster/metrics exposition — HELP/TYPE
+// headers, audit rollup and per-process relabeling included — byte-for-byte
+// (modulo the wall-clock age family). Regenerate with
+// `go test ./internal/fleet -run Golden -update` after an intentional change.
+func TestGoldenClusterMetrics(t *testing.T) {
+	a := NewAggregator()
+	a.Report(healthyStatus("rank0", 0))
+	a.Report(auditedStatus("rank1", 1))
+	v := a.Verdict()
+	for i := range v.Processes {
+		v.Processes[i].AgeS = 0 // wall-clock-dependent; pinned to 0 for the golden bytes
+	}
+	var buf bytes.Buffer
+	if err := WriteClusterMetrics(&buf, "nektarg", v, a.Statuses(), a.Imbalance()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "cluster_metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("cluster metrics exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+	for _, w := range []string{
+		"nektarg_cluster_audit_worst_severity 2",
+		"nektarg_cluster_audit_violations_total 1",
+		`nektarg_audit_budget_severity{proc="rank1",budget="gi.flux:insert"} 2`,
+	} {
+		if !strings.Contains(buf.String(), w) {
+			t.Errorf("exposition missing %q", w)
+		}
+	}
+}
+
+// TestClusterMetricsHelpTypeLint asserts every family in the cluster
+// exposition is announced with HELP and TYPE before its first sample.
+func TestClusterMetricsHelpTypeLint(t *testing.T) {
+	a := NewAggregator()
+	a.Report(healthyStatus("rank0", 0))
+	a.Report(auditedStatus("rank1", 1))
+	var buf bytes.Buffer
+	if err := WriteClusterMetrics(&buf, "nektarg", a.Verdict(), a.Statuses(), a.Imbalance()); err != nil {
+		t.Fatal(err)
+	}
+	helped, typed := map[string]bool{}, map[string]bool{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			helped[strings.Fields(line)[2]] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			typed[strings.Fields(line)[2]] = true
+		case line != "":
+			fam := line
+			if i := strings.IndexAny(fam, "{ "); i >= 0 {
+				fam = fam[:i]
+			}
+			if !helped[fam] || !typed[fam] {
+				t.Errorf("sample %q emitted before its HELP/TYPE headers", line)
+			}
+		}
 	}
 }
 

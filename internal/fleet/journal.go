@@ -52,6 +52,7 @@ const (
 	EventInsituDrops      = "insitu-drops"      // in-situ drop ledger crossed a milestone
 	EventRunComplete      = "run-complete"      // the supervisor finished all exchanges
 	EventRunFailed        = "run-failed"        // the supervisor gave up (restart budget exhausted)
+	EventAuditViolation   = "audit-violation"   // a physics audit budget latched a new severity
 )
 
 // Event is one journal record. Fields is free-form but small; Go's JSON
@@ -280,6 +281,38 @@ func (j *Journal) Close() error {
 func ReadJournal(path string) ([]Event, error) {
 	events, _, err := scanJournal(path)
 	return events, err
+}
+
+// ScanReport describes the integrity of a journal file beyond its decoded
+// events: where the intact prefix ends and whether bytes follow it.
+type ScanReport struct {
+	// ValidOffset is the byte offset just past the last intact record.
+	ValidOffset int64
+	// FileSize is the journal file's total length.
+	FileSize int64
+	// Torn reports trailing bytes after the intact prefix that do not form
+	// a complete record — the signature of a crash mid-append. OpenJournal
+	// truncates such tails before resuming; a torn read-only scan means the
+	// writer died and nothing has reopened the journal since.
+	Torn bool
+}
+
+// ScanJournal decodes the intact prefix like ReadJournal but also reports
+// integrity: the returned error is non-nil for rejected mid-file corruption
+// (bad magic, CRC mismatch, oversized or undecodable record), and
+// ScanReport.Torn flags an incomplete trailing record. `nektarg events`
+// uses this to fail loudly instead of pretty-printing a silently shortened
+// history.
+func ScanJournal(path string) ([]Event, ScanReport, error) {
+	events, off, err := scanJournal(path)
+	rep := ScanReport{ValidOffset: off}
+	if fi, statErr := os.Stat(path); statErr == nil {
+		rep.FileSize = fi.Size()
+	} else if err == nil {
+		err = statErr
+	}
+	rep.Torn = err == nil && rep.ValidOffset < rep.FileSize
+	return events, rep, err
 }
 
 // scanJournal decodes records and additionally reports the byte offset of

@@ -168,6 +168,66 @@ func TestJournalRejectsMidFileCorruption(t *testing.T) {
 	}
 }
 
+// TestScanJournalIntegrityVerdicts pins the contract the `nektarg events`
+// subcommand builds its exit code on: an intact journal scans clean, a torn
+// tail is flagged (Torn, no error) with the intact prefix returned, and
+// mid-file corruption errors while still returning everything before it.
+func TestScanJournalIntegrityVerdicts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.nkj")
+	j := openTestJournal(t, path, 0)
+	j.Record(EventIncarnationStart, nil)
+	j.Record(EventCheckpoint, nil)
+	j.Record(EventAuditViolation, map[string]any{"budget": "gi.flux:insert"})
+	j.Close()
+
+	events, rep, err := ScanJournal(path)
+	if err != nil || rep.Torn {
+		t.Fatalf("intact journal: err=%v torn=%v", err, rep.Torn)
+	}
+	if len(events) != 3 || rep.ValidOffset != rep.FileSize {
+		t.Fatalf("intact journal: %d events, offset %d of %d", len(events), rep.ValidOffset, rep.FileSize)
+	}
+
+	raw, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+
+	// Torn tail: chop mid-way through the last record.
+	if err := os.WriteFile(path, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	events, rep, err = ScanJournal(path)
+	if err != nil {
+		t.Fatalf("torn tail must not error: %v", err)
+	}
+	if !rep.Torn {
+		t.Fatal("torn tail not flagged")
+	}
+	if len(events) != 2 || rep.ValidOffset >= rep.FileSize {
+		t.Fatalf("torn journal: %d events, offset %d of %d", len(events), rep.ValidOffset, rep.FileSize)
+	}
+
+	// Mid-file corruption: flip a payload byte of the first record.
+	bad := append([]byte(nil), raw...)
+	bad[journalHeaderLen+2] ^= 0xff
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	events, rep, err = ScanJournal(path)
+	if err == nil {
+		t.Fatal("mid-file corruption must error")
+	}
+	if len(events) != 0 || rep.ValidOffset != 0 {
+		t.Fatalf("corrupt-at-0 journal: %d events, offset %d", len(events), rep.ValidOffset)
+	}
+
+	// Missing file: error with nothing salvaged (the subcommand's fatal path).
+	if _, rep, err = ScanJournal(filepath.Join(t.TempDir(), "absent.nkj")); err == nil || rep.FileSize != 0 {
+		t.Fatalf("missing file: err=%v size=%d", err, rep.FileSize)
+	}
+}
+
 func TestJournalObserversFire(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "journal.nkj")
 	j := openTestJournal(t, path, 0)

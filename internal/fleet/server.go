@@ -178,6 +178,32 @@ func WriteClusterMetrics(w io.Writer, namespace string, v ClusterVerdict, sts []
 		}
 	}
 
+	// Physics audit rollup: the fleet's worst latched conservation severity
+	// (max over processes) and total budget violations (sum), derived from
+	// the per-process audit stats so a single violating rank is visible at
+	// the cluster level without scanning proc-labeled series.
+	var auditWorst, auditViolations float64
+	auditSeen := false
+	for _, st := range sts {
+		for _, s := range st.Stats {
+			switch s.Name {
+			case "audit_worst_severity":
+				auditSeen = true
+				if s.Value > auditWorst {
+					auditWorst = s.Value
+				}
+			case "audit_violations_total":
+				auditViolations += s.Value
+			}
+		}
+	}
+	if auditSeen {
+		p.header(ns+"_cluster_audit_worst_severity", "Worst latched physics-audit severity across the fleet (0 ok, 1 warn, 2 critical).", "gauge")
+		p.sample(ns+"_cluster_audit_worst_severity", nil, auditWorst)
+		p.header(ns+"_cluster_audit_violations_total", "Physics-audit budget violations latched fleet-wide.", "counter")
+		p.sample(ns+"_cluster_audit_violations_total", nil, auditViolations)
+	}
+
 	// Per-process extra stats (transport counters): each sample gains a proc
 	// label; families grouped by stable-sorting on name.
 	type procStat struct {

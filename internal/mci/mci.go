@@ -15,6 +15,7 @@ package mci
 import (
 	"fmt"
 
+	"nektarg/internal/audit"
 	"nektarg/internal/mpi"
 	"nektarg/internal/topology"
 )
@@ -151,6 +152,15 @@ type InterfaceGroup struct {
 	RootWorld int
 	// Member reports whether this rank belongs to the interface group.
 	Member bool
+	// Aud is the optional physics audit ledger. When set, the L4 root of
+	// every Exchange reconciles the byte legs of the 3-step path — the
+	// outbound trace it gathered and sent, the inbound trace it received
+	// from the peer root, and the bytes the scatter delivers to members —
+	// under the gi.bytes budget. The reconciliation assumes the symmetric
+	// interface trace of Figure 4 (both sides share the ΓI discretization,
+	// so the legs are equal counts); any mismatch is a critical exchange
+	// defect. Nil disables the accounting at nil-receiver cost.
+	Aud *audit.Ledger
 }
 
 // NewInterfaceGroup derives an L4 group from h.L3. member says whether the
@@ -310,6 +320,14 @@ func (g *InterfaceGroup) Exchange(world *mpi.Comm, peerRootWorld, tagSalt int, l
 	var received []float64
 	if g.L4.Rank() == 0 {
 		received = g.RootExchange(world, peerRootWorld, tagSalt, gathered)
+		if g.Aud != nil {
+			applied := 0
+			for _, c := range recvCounts {
+				applied += c
+			}
+			g.Aud.CountExchange(g.Name,
+				int64(len(gathered))*8, int64(len(received))*8, int64(applied)*8)
+		}
 	}
 	return g.ScatterFromRoot(received, recvCounts)
 }

@@ -42,10 +42,10 @@ type FlightDump struct {
 	Incarnation int              `json:"incarnation,omitempty"`
 	Transport   string           `json:"transport,omitempty"`
 	Trip        *Event           `json:"trip,omitempty"`
-	Verdict   Verdict          `json:"verdict"`
-	Events    []Event          `json:"events"`
-	Tracks    []FlightTrack    `json:"tracks"`
-	Imbalance []StageImbalance `json:"imbalance,omitempty"`
+	Verdict     Verdict          `json:"verdict"`
+	Events      []Event          `json:"events"`
+	Tracks      []FlightTrack    `json:"tracks"`
+	Imbalance   []StageImbalance `json:"imbalance,omitempty"`
 	// Insitu is the in-situ pipeline's drop/staleness accounting at dump
 	// time (the observer's SnapshotMeta document), present when an in-situ
 	// source is wired. A crashed run's last flight dump then answers "was the

@@ -58,6 +58,18 @@ type SnapshotSource interface {
 	SnapshotVTK(w io.Writer) error
 }
 
+// AuditSource is the physics audit surface the monitor serves on GET
+// /audit: the audit package's Ledger satisfies it structurally, so monitor
+// never imports audit (audit imports monitor for the Stat bridge and the
+// watchdog track — the interface breaks the cycle, exactly like
+// SnapshotSource does for insitu).
+type AuditSource interface {
+	// WriteJSON streams the full conservation-ledger status — budgets,
+	// latched severities, EMA statistics, byte-leg totals — as one JSON
+	// document.
+	WriteJSON(w io.Writer) error
+}
+
 // Monitor bundles the health state, flight recorder and snapshot source
 // behind one HTTP surface. Create with New; all methods are safe for
 // concurrent use.
@@ -72,6 +84,7 @@ type Monitor struct {
 	extra []func() []*telemetry.Recorder // additional recorder sources
 	stats []func() []Stat                // extra metric sources (transport counters, ...)
 	snap  SnapshotSource                 // in-situ observation surface; nil = 404
+	audit AuditSource                    // physics audit surface; nil = 404
 }
 
 // New builds a monitor over a telemetry registry. The registry supplies the
@@ -136,6 +149,27 @@ func (m *Monitor) snapshotSource() SnapshotSource {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.snap
+}
+
+// SetAuditSource wires the physics audit surface: GET /audit starts
+// serving the conservation-ledger document. nil detaches it again.
+func (m *Monitor) SetAuditSource(src AuditSource) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.audit = src
+	m.mu.Unlock()
+}
+
+// auditSource returns the wired audit surface, if any.
+func (m *Monitor) auditSource() AuditSource {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.audit
 }
 
 // AddSource registers an extra recorder source (e.g. per-rank recorders that

@@ -62,6 +62,15 @@ type Network struct {
 	Time      float64
 	Steps     int
 
+	// InVol and OutVol integrate the realized boundary fluxes: ∫Q dt over
+	// every inlet and outlet (including windkessel terminals), using the
+	// post-solve boundary states so the bookkeeping matches what the scheme
+	// actually admitted and discharged. V(t) − InVol + OutVol is then a
+	// discrete invariant up to truncation error — the quantity the physics
+	// audit ledger watches as the network's mass balance.
+	InVol  float64
+	OutVol float64
+
 	// Rec is the optional per-rank telemetry recorder; nil (the default)
 	// disables the 1d.* spans at nil-receiver no-op cost.
 	Rec *telemetry.Recorder
@@ -157,6 +166,14 @@ func (n *Network) Step(dt float64) error {
 				return err
 			}
 		}
+	}
+	for _, in := range n.Inlets {
+		s := in.Seg
+		n.InVol += dt * s.A[0] * s.U[0]
+	}
+	for _, out := range n.Outlets {
+		s := out.Seg
+		n.OutVol += dt * s.A[s.N-1] * s.U[s.N-1]
 	}
 	n.Time += dt
 	n.Steps++

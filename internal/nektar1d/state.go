@@ -23,11 +23,16 @@ type NetworkState struct {
 	OutletP []float64
 	Time    float64
 	Steps   int
+	// InVol and OutVol carry the boundary-flux integrals behind the mass
+	// audit (see Network.InVol); zero when decoded from pre-audit
+	// checkpoints, which re-bases the balance at resume time.
+	InVol  float64
+	OutVol float64
 }
 
 // CaptureState deep-copies the resumable network state.
 func (n *Network) CaptureState() NetworkState {
-	st := NetworkState{Time: n.Time, Steps: n.Steps}
+	st := NetworkState{Time: n.Time, Steps: n.Steps, InVol: n.InVol, OutVol: n.OutVol}
 	st.Segments = make([]SegmentState, len(n.Segments))
 	for i, s := range n.Segments {
 		st.Segments[i] = SegmentState{
@@ -88,5 +93,7 @@ func (n *Network) ApplyState(st NetworkState) error {
 	}
 	n.Time = st.Time
 	n.Steps = st.Steps
+	n.InVol = st.InVol
+	n.OutVol = st.OutVol
 	return nil
 }

@@ -7,7 +7,7 @@
 # OUT=..., used by make bench-compare): a single JSON document with the
 # scaling tables (as emitted by `go run ./cmd/scaling -json`) plus raw
 # `go test -bench` transcripts for the comm, telemetry, monitor, checkpoint,
-# in-situ, transport and cluster observability suites.
+# in-situ, transport, cluster observability and physics-audit suites.
 #
 # Usage: scripts/bench.sh   (or: make bench-telemetry)
 set -eu
@@ -48,12 +48,16 @@ echo "== cluster benchmarks (journal append, aggregation, exposition, trace merg
 cluster=$(go test -run '^$' -bench 'Benchmark' -benchmem ./internal/fleet 2>&1)
 printf '%s\n' "$cluster"
 
+echo "== audit benchmarks (disabled hook, per-exchange ledger update, exposition) =="
+audit=$(go test -run '^$' -bench 'BenchmarkAudit' -benchmem ./internal/audit 2>&1)
+printf '%s\n' "$audit"
+
 echo "== scaling tables (cmd/scaling -json) =="
 tables=$(go run ./cmd/scaling -json)
 
 # Assemble the bundle without extra tooling: the bench transcripts are
 # embedded as JSON string arrays (one element per line) via go run so we
 # need no jq/python in the container.
-COMM="$comm" TELE="$tele" MONITOR="$mon" CKPT="$ckpt" INSITU="$insitu" TRANSPORT="$transport" CLUSTER="$cluster" TABLES="$tables" go run ./scripts/benchjson >"$out"
+COMM="$comm" TELE="$tele" MONITOR="$mon" CKPT="$ckpt" INSITU="$insitu" TRANSPORT="$transport" CLUSTER="$cluster" AUDIT="$audit" TABLES="$tables" go run ./scripts/benchjson >"$out"
 
 echo "wrote $out"

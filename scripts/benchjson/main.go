@@ -1,10 +1,10 @@
 // Benchjson assembles and compares BENCH_telemetry.json bundles.
 //
 // Bundle mode (default, used by scripts/bench.sh): reads the comm,
-// telemetry, monitor, checkpoint, insitu, transport and cluster benchmark
-// transcripts plus the scaling tables from the COMM, TELE, MONITOR, CKPT,
-// INSITU, TRANSPORT, CLUSTER and TABLES environment variables and emits one
-// indented JSON document on stdout.
+// telemetry, monitor, checkpoint, insitu, transport, cluster and audit
+// benchmark transcripts plus the scaling tables from the COMM, TELE,
+// MONITOR, CKPT, INSITU, TRANSPORT, CLUSTER, AUDIT and TABLES environment
+// variables and emits one indented JSON document on stdout.
 // Bench transcripts are parsed into structured {name, value, unit} samples
 // (standard `go test -bench` line format) with the raw lines preserved
 // alongside.
@@ -75,7 +75,7 @@ func parseBench(out string) (lines []string, samples []Sample) {
 }
 
 // sections is the stable order of bench transcript sections in a bundle.
-var sections = []string{"comm", "telemetry", "monitor", "checkpoint", "insitu", "transport", "cluster"}
+var sections = []string{"comm", "telemetry", "monitor", "checkpoint", "insitu", "transport", "cluster", "audit"}
 
 func bundle() {
 	env := map[string]string{
@@ -86,6 +86,7 @@ func bundle() {
 		"insitu":     "INSITU",
 		"transport":  "TRANSPORT",
 		"cluster":    "CLUSTER",
+		"audit":      "AUDIT",
 	}
 	doc := map[string]any{}
 	for _, sec := range sections {

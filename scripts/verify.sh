@@ -9,7 +9,7 @@ set -eux
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/mpi/... ./internal/mci/... ./internal/core/... ./internal/telemetry/... ./internal/monitor/... ./internal/checkpoint/... ./internal/insitu/... ./internal/fleet/...
+go test -race ./internal/mpi/... ./internal/mci/... ./internal/core/... ./internal/telemetry/... ./internal/monitor/... ./internal/checkpoint/... ./internal/insitu/... ./internal/fleet/... ./internal/audit/...
 
 # Zero-cost-when-disabled guards: instrumentation on a nil recorder and
 # watchdog probes on a nil bundle must allocate nothing and stay within a few
@@ -18,6 +18,7 @@ go test -run TestDisabledPathNearZeroCost -count=1 ./internal/telemetry
 go test -run TestMonitorDisabledZeroCost -count=1 ./internal/monitor
 go test -run TestInsituDisabledZeroCost -count=1 ./internal/core
 go test -run TestFleetDisabledZeroCost -count=1 ./internal/fleet
+go test -run TestAuditDisabledZeroCost -count=1 ./internal/audit
 
 # Fault-injection smoke: a rank killed mid-run by the deterministic fault
 # harness must dump flight telemetry, resume from the last good checkpoint
@@ -50,3 +51,13 @@ go test -run 'TestDistributedRecoverySurvivesProcessKill' -count=1 ./internal/co
 go test -race -run 'TestTransportStats|TestStatsAddFoldsIncarnations' -count=1 ./internal/mpi/tcptransport
 go test -race -run 'TestScrapeWhileWorldSteps' -count=1 ./internal/monitor
 go test -run 'TestClusterObservabilitySurvivesProcessKill' -count=1 ./internal/core
+
+# Physics audit acceptance (PR 8). An injected flux-BC fault in a coupled
+# three-solver run must trip the gi.flux budget (before any NaN/CFL guard)
+# while the unfaulted control stays in tolerance; the ledger must survive a
+# checkpoint round-trip bit-identically; the journal scanner's intact/torn/
+# corrupt verdicts back the `nektarg events` exit code; and the audit and
+# cluster expositions are pinned golden with HELP/TYPE lint.
+go test -race -run 'TestAuditControlRunStaysInTolerance|TestAuditCatchesInjectedFluxFault|TestAuditLedgerResumeContinuity' -count=1 ./internal/core
+go test -run 'TestScanJournalIntegrityVerdicts|TestGoldenClusterMetrics|TestClusterMetricsHelpTypeLint' -count=1 ./internal/fleet
+go test -run 'TestGoldenAuditExposition|TestAuditExpositionHelpTypeLint' -count=1 ./internal/audit
