@@ -526,6 +526,7 @@ func main() {
 	nParticles := flag.Int("particles", 2400, "DPD solvent particles")
 	nPlatelets := flag.Int("platelets", 40, "platelets seeded in the DPD region (0 = off)")
 	order := flag.Int("order", 4, "spectral element polynomial order")
+	parallelism := flag.Int("parallel", 0, "intra-rank workers per solver: SEM element tiles and DPD force tiles (0 = per-solver defaults, -1 = all cores; overrides config; output is bit-identical for any value)")
 	seed := flag.Int64("seed", 1, "random seed")
 	vtkDir := flag.String("vtk", "", "directory for final-state VTK output (empty = off)")
 	with1D := flag.Bool("with1d", false, "attach a 1D fractal peripheral tree to the last patch outlet")
@@ -592,7 +593,7 @@ func main() {
 	defer stopCPU()
 	defer writeMemProfile(*memProfile)
 	if *configPath != "" {
-		runFromConfig(*configPath, *exchanges, *vtkDir, topts, ropts, tflags, fopts)
+		runFromConfig(*configPath, *exchanges, *vtkDir, *parallelism, topts, ropts, tflags, fopts)
 		return
 	}
 	tr, err := tflags.merge(nil)
@@ -669,6 +670,7 @@ func main() {
 		FluxFaces: []*dpd.FluxBC{inflow},
 	}
 	meta.Atomistic = []*core.AtomisticRegion{region}
+	meta.SetParallelism(*parallelism)
 
 	// Optional NεκTαr-1D peripheral tree on the last patch's outlet: the
 	// full Figure 2 metasolver structure (3D + 1D + DPD).
@@ -792,7 +794,7 @@ func main() {
 }
 
 // runFromConfig builds and drives a simulation from a declarative JSON file.
-func runFromConfig(path string, exchanges int, vtkDir string, topts telemetryOpts, ropts restartOpts, tflags transportFlags, fopts fleetOpts) {
+func runFromConfig(path string, exchanges int, vtkDir string, parallelism int, topts telemetryOpts, ropts restartOpts, tflags transportFlags, fopts fleetOpts) {
 	logger := topts.logger
 	f, err := os.Open(path)
 	if err != nil {
@@ -807,6 +809,9 @@ func runFromConfig(path string, exchanges int, vtkDir string, topts telemetryOpt
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The -parallel flag overrides any per-patch/per-region "parallel"
+	// values from the file; 0 leaves the file's choices in place.
+	b.Meta.SetParallelism(parallelism)
 	// A config-level transport block selects the world carrier unless the
 	// flags already did; flags win field by field (operator overrides file).
 	if ropts.transport, err = tflags.merge(cfg.Transport); err != nil {

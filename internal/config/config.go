@@ -41,6 +41,9 @@ type Patch struct {
 	Initial string `json:"initial"`
 	// TimeOrder selects the stiffly stable integration order (default 1).
 	TimeOrder int `json:"timeOrder"`
+	// Parallel sets the intra-patch operator worker count (0/1 serial, -1
+	// GOMAXPROCS). Output is bit-identical for every setting.
+	Parallel int `json:"parallel"`
 }
 
 // Coupling links a donor patch to a receiver face.
@@ -89,6 +92,9 @@ type Region struct {
 	// application (0 means 1). Anything other than 1 is a deliberate
 	// conservation fault: the audit ledger's gi.flux budget must catch it.
 	FluxScale float64 `json:"fluxScale"`
+	// Parallel sets the force-evaluation worker count (0 = GOMAXPROCS).
+	// Output is bit-identical for every setting.
+	Parallel int `json:"parallel"`
 }
 
 // Exchange sets the time progression.
@@ -296,6 +302,7 @@ func buildPatch(pc Patch) (*core.ContinuumPatch, error) {
 	}
 	g := nektar3d.NewGrid(pc.Elements[0], pc.Elements[1], pc.Elements[2], pc.Order,
 		pc.Size[0], pc.Size[1], pc.Size[2], pc.Periodic[0], pc.Periodic[1], pc.Periodic[2])
+	g.Parallel = pc.Parallel
 	s := nektar3d.NewSolver(g, pc.Nu, pc.Dt)
 	if pc.TimeOrder > 0 {
 		s.Order = pc.TimeOrder
@@ -352,6 +359,7 @@ func buildRegion(rc Region) (*core.AtomisticRegion, *platelet.Model, error) {
 		return nil, nil, fmt.Errorf("unknown wall preset %q", rc.Walls)
 	}
 	sys := dpd.NewSystem(params, geometry.Vec3{}, box, periodic)
+	sys.Parallel = rc.Parallel
 	sys.Walls = walls
 	n := rc.Particles
 	if n <= 0 {

@@ -158,3 +158,37 @@ func TestLoadTransportBlock(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestParallelKnobWiring(t *testing.T) {
+	withParallel := strings.Replace(validJSON,
+		`"timeOrder": 2`, `"timeOrder": 2, "parallel": 3`, 1)
+	withParallel = strings.Replace(withParallel,
+		`"walls": "zslab",`, `"walls": "zslab", "parallel": 2,`, 1)
+	c, err := Load(strings.NewReader(withParallel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Patches["feed"].Solver.G.Parallel; got != 3 {
+		t.Fatalf("feed grid Parallel = %d, want 3", got)
+	}
+	if got := b.Patches["distal"].Solver.G.Parallel; got != 0 {
+		t.Fatalf("distal grid Parallel = %d, want 0 (unset)", got)
+	}
+	if got := b.Regions["insert"].Sys.Parallel; got != 2 {
+		t.Fatalf("region Parallel = %d, want 2", got)
+	}
+
+	// The metasolver-level override reaches every solver; 0 is a no-op.
+	b.Meta.SetParallelism(0)
+	if b.Patches["feed"].Solver.G.Parallel != 3 || b.Regions["insert"].Sys.Parallel != 2 {
+		t.Fatal("SetParallelism(0) must leave per-solver settings untouched")
+	}
+	b.Meta.SetParallelism(5)
+	if b.Patches["distal"].Solver.G.Parallel != 5 || b.Regions["insert"].Sys.Parallel != 5 {
+		t.Fatal("SetParallelism(5) must reach every grid and system")
+	}
+}

@@ -176,6 +176,25 @@ func NewMetasolver() *Metasolver {
 	return &Metasolver{NSStepsPerExchange: 10, DPDStepsPerNS: 20}
 }
 
+// SetParallelism sets the intra-rank worker count on every attached solver:
+// each continuum patch's element-tiled operators and each atomistic region's
+// force tiling. n == 0 leaves the per-solver defaults (serial SEM operators,
+// GOMAXPROCS DPD force workers); n < 0 requests all cores on every solver;
+// n >= 1 pins exactly n workers. Per-solver settings made directly on a
+// Grid/System are overwritten. The knob changes wall-clock only — solver
+// output is bit-identical for every worker count.
+func (m *Metasolver) SetParallelism(n int) {
+	if n == 0 {
+		return
+	}
+	for _, p := range m.Patches {
+		p.Solver.G.Parallel = n
+	}
+	for _, a := range m.Atomistic {
+		a.Sys.Parallel = n
+	}
+}
+
 // ExchangeInterfaceConditions runs one coupling exchange: patch-to-patch
 // traces and continuum-to-atomistic velocity imposition ("the velocity field
 // computed by the continuum solver is interpolated onto the predefined

@@ -1,0 +1,46 @@
+package dpd
+
+import (
+	"fmt"
+	"testing"
+
+	"nektarg/internal/geometry"
+)
+
+// Kernel benchmarks for the DPD hot path: the tiled force evaluation and
+// the full velocity-Verlet step. Named BenchmarkKernel* so scripts/bench.sh
+// captures them in the "kernels" bundle section.
+
+func benchSystem(n int, box float64) *System {
+	p := DefaultParams(1)
+	s := NewSystem(p, geometry.Vec3{}, geometry.Vec3{X: box, Y: box, Z: box}, [3]bool{true, true, true})
+	s.FillRandom(n, 0)
+	s.Run(3) // warm up cell lists, tiles and scratch
+	return s
+}
+
+func BenchmarkKernelForces(b *testing.B) {
+	for _, n := range []int{600, 2400} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			box := 6.0
+			if n > 1000 {
+				box = 9.0
+			}
+			s := benchSystem(n, box)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.ComputeForces()
+			}
+		})
+	}
+}
+
+func BenchmarkKernelVVStep(b *testing.B) {
+	s := benchSystem(600, 6.0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.VVStep()
+	}
+}

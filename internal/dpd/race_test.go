@@ -1,0 +1,7 @@
+//go:build race
+
+package dpd
+
+// raceEnabled reports that the race detector instruments this build; the
+// zero-alloc guards skip then (instrumentation allocates).
+const raceEnabled = true

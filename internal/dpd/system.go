@@ -5,11 +5,11 @@ import (
 	"math"
 	"math/rand/v2"
 	"runtime"
-	"sync"
 
 	"nektarg/internal/geometry"
 	"nektarg/internal/monitor"
 	"nektarg/internal/telemetry"
+	"nektarg/internal/work"
 )
 
 // Particle is one DPD particle. Mass is 1 in DPD units.
@@ -97,10 +97,37 @@ type System struct {
 	heads   []int32
 	next    []int32
 
+	// Force-evaluation scratch (arena contract, DESIGN.md §14): reused every
+	// step, sized up on particle growth, and deliberately absent from
+	// dpd.State — CaptureState serializes named simulation state only, so
+	// scratch reuse can never leak across a checkpoint round-trip (pinned by
+	// TestCaptureStateExcludesScratch). Pair forces accumulate into one
+	// buffer per TILE (fixed count, see forceTiles) merged in tile order,
+	// so the result is bit-identical for every worker count including 1.
+	tiles   []forceTile
+	tileBuf [][]geometry.Vec3
+	fOld    []geometry.Vec3 // velocity-Verlet old-force buffer
+	pool    work.Pool
+	forceFn func(int) // prebuilt worker closure (rebuilt when forceNW changes)
+	forceNW int
+
+	// forceTiles is the force-accumulation tile count (clamped to the z-cell
+	// count). 0 means "capture GOMAXPROCS at first use" — exactly the strip
+	// layout the pre-arena implementation used by default, so trajectories
+	// replay the historical bits on any given machine. Once captured it
+	// never changes, and it is deliberately independent of Parallel: the
+	// floating-point merge grouping is set by the tiling alone, so every
+	// worker count reproduces the same forces bit for bit. Tests override it
+	// to exercise multi-tile merging regardless of host core count.
+	forceTiles int
+
 	// Parallel controls the number of force-evaluation workers; 0 means
-	// GOMAXPROCS.
+	// GOMAXPROCS. The worker count affects wall-clock only, never the bits.
 	Parallel int
 }
+
+// forceTile is a z-strip of cells owning its pair interactions.
+type forceTile struct{ z0, z1 int }
 
 // NewSystem builds an empty domain.
 func NewSystem(p Params, lo, hi geometry.Vec3, periodic [3]bool) *System {
@@ -252,10 +279,12 @@ func (s *System) cellOf(pos geometry.Vec3) int {
 	return c[0] + s.ncell[0]*(c[1]+s.ncell[1]*c[2])
 }
 
-// ComputeForces evaluates all forces into Particles[i].F. Pairwise forces are
-// computed in parallel over cell strips with per-worker accumulation buffers
-// and counter-based random numbers, so results are deterministic regardless
-// of worker count.
+// ComputeForces evaluates all forces into Particles[i].F. Pairwise forces
+// are computed in parallel over a FIXED tiling of cell z-strips with
+// per-tile accumulation buffers and counter-based random numbers; because
+// neither the tiling nor the merge order depends on the worker count, the
+// forces are bit-identical for every Parallel setting. Steady-state calls
+// reuse all scratch and allocate nothing.
 func (s *System) ComputeForces() {
 	sp := s.Rec.Begin("dpd.forces")
 	defer sp.End()
@@ -265,40 +294,61 @@ func (s *System) ComputeForces() {
 	}
 	s.buildCells()
 
-	nw := s.Parallel
-	if nw <= 0 {
-		nw = runtime.GOMAXPROCS(0)
+	// Fixed tiling: the tile layout depends on the cell grid and the
+	// captured forceTiles count, never on the worker count, so the per-tile
+	// partial sums and their tile-order merge below give bit-identical
+	// forces for any Parallel setting.
+	if s.forceTiles <= 0 {
+		s.forceTiles = runtime.GOMAXPROCS(0)
 	}
-	if nw > s.ncell[2] {
-		nw = s.ncell[2]
+	nt := s.forceTiles
+	if nt > s.ncell[2] {
+		nt = s.ncell[2]
 	}
-	if nw < 1 {
-		nw = 1
+	if nt < 1 {
+		nt = 1
 	}
-	type job struct{ z0, z1 int }
-	jobs := make([]job, 0, nw)
-	per := (s.ncell[2] + nw - 1) / nw
+	s.tiles = s.tiles[:0]
+	per := (s.ncell[2] + nt - 1) / nt
 	for z := 0; z < s.ncell[2]; z += per {
 		z1 := z + per
 		if z1 > s.ncell[2] {
 			z1 = s.ncell[2]
 		}
-		jobs = append(jobs, job{z, z1})
+		s.tiles = append(s.tiles, forceTile{z, z1})
+	}
+	for len(s.tileBuf) < len(s.tiles) {
+		s.tileBuf = append(s.tileBuf, nil)
+	}
+	for t := range s.tiles {
+		if cap(s.tileBuf[t]) < n {
+			s.tileBuf[t] = make([]geometry.Vec3, n)
+		}
+		s.tileBuf[t] = s.tileBuf[t][:n]
+		clear(s.tileBuf[t])
 	}
 
-	buffers := make([][]geometry.Vec3, len(jobs))
-	var wg sync.WaitGroup
-	for w := range jobs {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			buf := make([]geometry.Vec3, n)
-			buffers[w] = buf
-			s.forcesInStrip(jobs[w].z0, jobs[w].z1, buf)
-		}(w)
+	nw := s.workers()
+	if nw > len(s.tiles) {
+		nw = len(s.tiles)
 	}
-	wg.Wait()
-	for _, buf := range buffers {
+	if nw > 1 {
+		if s.forceFn == nil || s.forceNW != nw {
+			s.forceNW = nw
+			s.forceFn = func(w int) {
+				for t := w; t < len(s.tiles); t += s.forceNW {
+					s.forcesInStrip(s.tiles[t].z0, s.tiles[t].z1, s.tileBuf[t])
+				}
+			}
+		}
+		s.pool.Run(nw, s.forceFn)
+	} else {
+		for t := range s.tiles {
+			s.forcesInStrip(s.tiles[t].z0, s.tiles[t].z1, s.tileBuf[t])
+		}
+	}
+	for t := range s.tiles {
+		buf := s.tileBuf[t]
 		for i := range buf {
 			s.Particles[i].F = s.Particles[i].F.Add(buf[i])
 		}
@@ -317,6 +367,18 @@ func (s *System) ComputeForces() {
 			}
 		}
 	}
+}
+
+// workers resolves the Parallel knob: 0 (the default) means GOMAXPROCS.
+func (s *System) workers() int {
+	nw := s.Parallel
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	return nw
 }
 
 // forcesInStrip accumulates pair forces for all pairs whose *owning* cell
@@ -446,7 +508,11 @@ func (s *System) VVStep() {
 	s.applyBoundaries()
 	s.Step++
 	s.Time += dt
-	old := make([]geometry.Vec3, len(s.Particles))
+	if cap(s.fOld) < len(s.Particles) {
+		s.fOld = make([]geometry.Vec3, len(s.Particles))
+	}
+	s.fOld = s.fOld[:len(s.Particles)]
+	old := s.fOld
 	for i := range s.Particles {
 		old[i] = s.Particles[i].F
 	}
@@ -468,6 +534,7 @@ func (s *System) VVStep() {
 	s.Rec.Gauge("dpd.particles", float64(len(s.Particles)))
 	s.Rec.Gauge("dpd.inserted", float64(s.Inserted-ins0))
 	s.Rec.Gauge("dpd.deleted", float64(s.Deleted-del0))
+	s.Rec.Gauge("dpd.parallel", float64(s.workers()))
 
 	if s.Watch != nil {
 		s.Watch.ObserveParticles(len(s.Particles))

@@ -1,0 +1,51 @@
+package linalg
+
+import (
+	"testing"
+)
+
+// Kernel benchmarks for the CG hot path: the workspace-reusing solve the
+// SEM operators call every step, against the allocating entry point. Named
+// BenchmarkKernel* so scripts/bench.sh captures them in the "kernels"
+// bundle section.
+
+func benchProblem(n int) (Operator, []float64, []float64, *JacobiPrec) {
+	a := CSROperator{spdLaplacian(n)}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1 + float64(i%7)
+	}
+	diag := make([]float64, n)
+	for i := range diag {
+		diag[i] = 2
+	}
+	return a, make([]float64, n), b, NewJacobiPrec(diag)
+}
+
+func BenchmarkKernelCGWith(b *testing.B) {
+	a, x, rhs, prec := benchProblem(4096)
+	var ws CGWorkspace
+	if _, err := CGWith(&ws, a, x, rhs, prec, 1e-10, 400); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clear(x)
+		if _, err := CGWith(&ws, a, x, rhs, prec, 1e-10, 400); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelCGAlloc(b *testing.B) {
+	a, x, rhs, prec := benchProblem(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clear(x)
+		if _, err := CG(a, x, rhs, prec, 1e-10, 400); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -61,6 +61,23 @@ func (p *JacobiPrec) Precondition(z, r []float64) {
 	}
 }
 
+// SetDiag refills the preconditioner from a new diagonal in place, growing
+// the inverse-diagonal buffer only when the dimension grows. Solver arenas
+// use it to re-seed a persistent JacobiPrec each solve without allocating.
+func (p *JacobiPrec) SetDiag(diag []float64) {
+	if cap(p.InvDiag) < len(diag) {
+		p.InvDiag = make([]float64, len(diag))
+	}
+	p.InvDiag = p.InvDiag[:len(diag)]
+	for i, d := range diag {
+		if d == 0 {
+			p.InvDiag[i] = 1
+		} else {
+			p.InvDiag[i] = 1 / d
+		}
+	}
+}
+
 // SolveStats reports how a conjugate-gradient solve went: the per-stage
 // convergence record the telemetry layer turns into gauges and the tests
 // assert on. History holds the relative residual observed at the top of each
@@ -147,11 +164,54 @@ type CGResult = SolveStats
 // ErrCGBreakdown is returned when the operator is not SPD (p^T A p <= 0).
 var ErrCGBreakdown = errors.New("linalg: CG breakdown: operator not positive definite")
 
+// CGWorkspace owns the four CG work vectors plus the History backing buffer
+// so repeated solves on same-dimension systems allocate nothing. It is pure
+// scratch: no state carries meaning across solves, and checkpoint capture
+// must never include it. A workspace serves one solve at a time (not
+// reentrant); each Grid/Solver arena owns its own.
+//
+// SolveStats.History returned from CGWith ALIASES the workspace: it is valid
+// until the next CGWith call on the same workspace. Callers that retain
+// curves across solves (the flight recorder copies into its own ring) must
+// copy first.
+type CGWorkspace struct {
+	r, z, p, ap []float64
+	hist        []float64
+}
+
+// ensure sizes the work vectors for an n-dimensional solve, reusing backing
+// arrays whenever capacity allows.
+func (ws *CGWorkspace) ensure(n int) {
+	if cap(ws.r) < n {
+		ws.r = make([]float64, n)
+		ws.z = make([]float64, n)
+		ws.p = make([]float64, n)
+		ws.ap = make([]float64, n)
+	}
+	ws.r = ws.r[:n]
+	ws.z = ws.z[:n]
+	ws.p = ws.p[:n]
+	ws.ap = ws.ap[:n]
+	if bound := HistoryBound; bound >= 2 && cap(ws.hist) < bound {
+		ws.hist = make([]float64, 0, bound)
+	}
+}
+
 // CG solves A x = b with preconditioned conjugate gradients, overwriting x
 // (which also provides the initial guess — the paper accelerates convergence
 // by predicting a good initial state from previous time steps). It stops when
-// the relative residual drops below tol or after maxIter iterations.
+// the relative residual drops below tol or after maxIter iterations. Work
+// vectors are allocated fresh; hot paths use CGWith with a reusable
+// workspace instead.
 func CG(a Operator, x, b []float64, prec Preconditioner, tol float64, maxIter int) (SolveStats, error) {
+	return CGWith(nil, a, x, b, prec, tol, maxIter)
+}
+
+// CGWith is CG with caller-owned scratch: ws provides the four work vectors
+// and the History backing buffer, so a steady-state solve performs zero
+// allocations (pinned by TestCGWithZeroAlloc). ws == nil allocates a
+// throwaway workspace, reproducing CG exactly.
+func CGWith(ws *CGWorkspace, a Operator, x, b []float64, prec Preconditioner, tol float64, maxIter int) (SolveStats, error) {
 	n := a.Dim()
 	if len(x) != n || len(b) != n {
 		panic(fmt.Sprintf("linalg: CG dimension mismatch: dim=%d len(x)=%d len(b)=%d", n, len(x), len(b)))
@@ -159,10 +219,11 @@ func CG(a Operator, x, b []float64, prec Preconditioner, tol float64, maxIter in
 	if prec == nil {
 		prec = IdentityPrec{}
 	}
-	r := make([]float64, n)
-	z := make([]float64, n)
-	p := make([]float64, n)
-	ap := make([]float64, n)
+	if ws == nil {
+		ws = &CGWorkspace{}
+	}
+	ws.ensure(n)
+	r, z, p, ap := ws.r, ws.z, ws.p, ws.ap
 
 	bnorm := math.Sqrt(simd.Dot(b, b))
 	if bnorm == 0 {
@@ -181,7 +242,7 @@ func CG(a Operator, x, b []float64, prec Preconditioner, tol float64, maxIter in
 	copy(p, z)
 	rz := simd.Dot(r, z)
 
-	res := SolveStats{}
+	res := SolveStats{History: ws.hist[:0]}
 	hist := histAcc{bound: HistoryBound, stride: 1}
 	for k := 0; k < maxIter; k++ {
 		rnorm := math.Sqrt(simd.Dot(r, r))
@@ -190,11 +251,21 @@ func CG(a Operator, x, b []float64, prec Preconditioner, tol float64, maxIter in
 		if res.Residual < tol {
 			res.Converged = true
 			hist.seal(&res, res.Residual)
+			ws.hist = res.History
 			return res, nil
 		}
 		a.Apply(ap, p)
 		pap := simd.Dot(p, ap)
 		if pap <= 0 {
+			// Breakdown: report the true divergence point — the residual of
+			// the current iterate (r is untouched by the failing apply), the
+			// iteration we broke down in, and a sealed history — so the CG
+			// watchdog and flight recorder see where the solve actually died
+			// rather than the stats of the previous iteration.
+			res.Iterations = k
+			res.Residual = math.Sqrt(simd.Dot(r, r)) / bnorm
+			hist.seal(&res, res.Residual)
+			ws.hist = res.History
 			return res, ErrCGBreakdown
 		}
 		alpha := rz / pap
@@ -204,14 +275,13 @@ func CG(a Operator, x, b []float64, prec Preconditioner, tol float64, maxIter in
 		rzNew := simd.Dot(r, z)
 		beta := rzNew / rz
 		rz = rzNew
-		for i := range p {
-			p[i] = z[i] + beta*p[i]
-		}
+		simd.Xpay(beta, z, p)
 		res.Iterations = k + 1
 	}
 	rnorm := math.Sqrt(simd.Dot(r, r))
 	res.Residual = rnorm / bnorm
 	hist.seal(&res, res.Residual)
 	res.Converged = res.Residual < tol
+	ws.hist = res.History
 	return res, nil
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package linalg
+
+// raceEnabled reports that the race detector instruments this build; the
+// zero-alloc guard skips then (instrumentation allocates).
+const raceEnabled = true

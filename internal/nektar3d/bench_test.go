@@ -1,0 +1,95 @@
+package nektar3d
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Kernel benchmarks for the SEM hot path: the tuned tensor-product
+// operators against the retained scalar references, the Helmholtz solve
+// they feed, and the full time step. All names share the BenchmarkKernel
+// prefix so scripts/bench.sh captures them as the "kernels" bundle section.
+
+func benchGrid(p int) *Grid {
+	return NewGrid(4, 3, 2, p, 1.0, 0.8, 1.3, false, true, false)
+}
+
+func BenchmarkKernelStiffnessRef(b *testing.B) {
+	for _, p := range []int{4, 8} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			g := benchGrid(p)
+			x := randomField(g, 1)
+			y := g.NewField()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.applyStiffnessRef(y, x)
+			}
+		})
+	}
+}
+
+func BenchmarkKernelStiffness(b *testing.B) {
+	for _, p := range []int{4, 8} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			g := benchGrid(p)
+			x := randomField(g, 1)
+			y := g.NewField()
+			g.ApplyStiffness(y, x) // build the arena outside the timer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.ApplyStiffness(y, x)
+			}
+		})
+	}
+}
+
+func BenchmarkKernelGradient(b *testing.B) {
+	g := benchGrid(4)
+	x := randomField(g, 1)
+	fx, fy, fz := g.NewField(), g.NewField(), g.NewField()
+	g.GradientInto(fx, fy, fz, x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.GradientInto(fx, fy, fz, x)
+	}
+}
+
+func BenchmarkKernelHelmholtz(b *testing.B) {
+	g := benchGrid(4)
+	f := randomField(g, 2)
+	u := g.NewField()
+	gBC := g.NewField() // homogeneous Dirichlet data
+	if _, err := g.SolveHelmholtzDirichletIn(u, 2.5, f, gBC, 1e-8, 400); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clear(u) // cold start: measure the full solve, not a warm restart
+		if _, err := g.SolveHelmholtzDirichletIn(u, 2.5, f, gBC, 1e-8, 400); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelStep(b *testing.B) {
+	g := NewGrid(3, 3, 3, 4, 1, 1, 1, true, true, false)
+	s := NewSolver(g, 0.05, 2e-3)
+	s.Order = 2
+	s.SetInitial(func(x, y, z float64) (u, v, w float64) {
+		return z * (1 - z), 0, 0
+	})
+	if err := s.Run(3); err != nil { // warm up arena, scratch and history
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -33,6 +33,13 @@ type Grid struct {
 	// Element Jacobians dx/dxi per direction (affine mapping).
 	Jx, Jy, Jz float64
 
+	// Parallel is the intra-grid worker count for the element-tiled
+	// operators: <=1 runs serial (the default), n>1 uses exactly n workers,
+	// negative uses GOMAXPROCS. Results are bit-identical for every setting
+	// (disjoint per-element outputs, fixed-order serial scatter). Set it
+	// before or between solves, not during one.
+	Parallel int
+
 	// massDiag is the assembled (diagonal) mass matrix.
 	massDiag []float64
 	// mult[n] counts the elements contributing to node n (for averaging
@@ -40,6 +47,10 @@ type Grid struct {
 	mult []float64
 	// X, Y, Z are the 1D node coordinate arrays.
 	X, Y, Z []float64
+
+	// ar is the lazily built operator scratch arena (see arena.go). Pure
+	// derived data and workspace: never checkpointed, rebuilt on demand.
+	ar *arena
 }
 
 // NewGrid builds a grid and precomputes mass and multiplicity.
@@ -162,19 +173,7 @@ func (g *Grid) FillField(f []float64, fn func(x, y, z float64) float64) {
 // BoundaryMask marks the Dirichlet nodes: every node on a non-periodic
 // face.
 func (g *Grid) BoundaryMask() []bool {
-	m := make([]bool, g.NumNodes())
-	for k := 0; k < g.Nz; k++ {
-		for j := 0; j < g.Ny; j++ {
-			for i := 0; i < g.Nx; i++ {
-				if (!g.PerX && (i == 0 || i == g.Nx-1)) ||
-					(!g.PerY && (j == 0 || j == g.Ny-1)) ||
-					(!g.PerZ && (k == 0 || k == g.Nz-1)) {
-					m[g.Idx(i, j, k)] = true
-				}
-			}
-		}
-	}
-	return m
+	return g.boundaryMaskInto(make([]bool, g.NumNodes()))
 }
 
 // MassDiag exposes the assembled diagonal mass matrix.

@@ -1,0 +1,168 @@
+package nektar3d
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// parityGrids enumerates the sweep the ISSUE pins: orders 2–8 and
+// non-power-of-two element counts, with mixed periodicity.
+func parityGrids() []*Grid {
+	var grids []*Grid
+	for p := 2; p <= 8; p++ {
+		grids = append(grids, NewGrid(3, 2, 1, p, 1.0, 0.8, 1.3, false, true, false))
+	}
+	grids = append(grids,
+		NewGrid(5, 3, 2, 4, 2.0, 1.0, 1.5, true, true, true),
+		NewGrid(1, 1, 7, 5, 0.7, 0.9, 3.0, false, false, true),
+		NewGrid(6, 6, 6, 3, 1.0, 1.0, 1.0, false, false, false),
+	)
+	return grids
+}
+
+func randomField(g *Grid, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	f := g.NewField()
+	for i := range f {
+		f[i] = rng.NormFloat64()
+	}
+	return f
+}
+
+// TestOperatorParityBitIdentical pins the tuned/parallel tensor-product
+// kernels byte-for-byte against the retained scalar references, for every
+// worker count. Equality is ==, not a tolerance: the kernels preserve the
+// reference accumulation order exactly.
+func TestOperatorParityBitIdentical(t *testing.T) {
+	workerSweep := []int{1, 3, runtime.GOMAXPROCS(0)}
+	for gi, g := range parityGrids() {
+		x := randomField(g, int64(100+gi))
+		yRef := randomField(g, int64(200+gi)) // nonzero: ApplyStiffness accumulates
+		fxRef, fyRef, fzRef := g.gradientRef(x)
+		diagRef := g.NewField()
+		g.stiffnessDiagRef(diagRef)
+
+		for _, nw := range workerSweep {
+			g.Parallel = nw
+			y := append([]float64(nil), yRef...)
+			g.applyStiffnessRef(y, x)
+			yTuned := append([]float64(nil), yRef...)
+			g.ApplyStiffness(yTuned, x)
+			for i := range y {
+				if y[i] != yTuned[i] {
+					t.Fatalf("grid %d P=%d workers=%d: stiffness[%d] = %v (tuned) vs %v (ref)",
+						gi, g.P, nw, i, yTuned[i], y[i])
+				}
+			}
+
+			fx, fy, fz := g.Gradient(x)
+			for i := range fx {
+				if fx[i] != fxRef[i] || fy[i] != fyRef[i] || fz[i] != fzRef[i] {
+					t.Fatalf("grid %d P=%d workers=%d: gradient[%d] diverges", gi, g.P, nw, i)
+				}
+			}
+
+			diag := g.StiffnessDiag()
+			for i := range diag {
+				if diag[i] != diagRef[i] {
+					t.Fatalf("grid %d P=%d workers=%d: diag[%d] = %v vs %v", gi, g.P, nw, i, diag[i], diagRef[i])
+				}
+			}
+
+			// Divergence must equal the historical composition of reference
+			// gradients, bit for bit.
+			u, v, w := x, randomField(g, int64(300+gi)), randomField(g, int64(400+gi))
+			uxr, _, _ := g.gradientRef(u)
+			_, vyr, _ := g.gradientRef(v)
+			_, _, wzr := g.gradientRef(w)
+			div := g.Divergence(u, v, w)
+			for i := range div {
+				if want := uxr[i] + vyr[i] + wzr[i]; div[i] != want {
+					t.Fatalf("grid %d P=%d workers=%d: div[%d] = %v vs %v", gi, g.P, nw, i, div[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestStepBitIdenticalAcrossWorkerCounts pins the end-to-end determinism
+// contract: a full solver trajectory is byte-identical for every Parallel
+// setting.
+func TestStepBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) *Solver {
+		g := NewGrid(3, 3, 3, 4, 1, 1, 1, true, true, false)
+		g.Parallel = workers
+		s := NewSolver(g, 0.05, 2e-3)
+		s.Order = 2
+		s.Tol = 1e-9
+		s.SetInitial(func(x, y, z float64) (u, v, w float64) {
+			return z * (1 - z), 0.1 * x, 0
+		})
+		s.VelBC = func(t, x, y, z float64) (u, v, w float64) { return 0, 0, 0 }
+		if err := s.Run(4); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return s
+	}
+	ref := run(1)
+	for _, workers := range []int{3, runtime.GOMAXPROCS(0)} {
+		got := run(workers)
+		for i := range ref.U {
+			if got.U[i] != ref.U[i] || got.V[i] != ref.V[i] || got.W[i] != ref.W[i] || got.Pr[i] != ref.Pr[i] {
+				t.Fatalf("workers=%d: field node %d diverged from serial run", workers, i)
+			}
+		}
+	}
+}
+
+// TestSolverStepZeroAllocSteadyState pins the tentpole acceptance criterion:
+// a warmed-up Solver.Step performs zero allocations, for serial and tiled
+// operator evaluation alike.
+func TestSolverStepZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	for _, workers := range []int{1, 3} {
+		g := NewGrid(3, 3, 3, 4, 1, 1, 1, true, true, false)
+		g.Parallel = workers
+		s := NewSolver(g, 0.05, 2e-3)
+		s.Order = 2
+		s.SetInitial(func(x, y, z float64) (u, v, w float64) {
+			return z * (1 - z), 0, 0
+		})
+		if err := s.Run(3); err != nil { // warm up arena, scratch and history
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(5, func() {
+			if err := s.Step(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("Parallel=%d: Solver.Step allocated %.1f allocs/op in steady state, want 0", workers, allocs)
+		}
+	}
+}
+
+// TestApplyStiffnessZeroAlloc pins the inner-loop contract directly: the
+// operator apply inside CG allocates nothing once the arena exists.
+func TestApplyStiffnessZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	g := NewGrid(4, 3, 2, 5, 1, 1, 1, false, true, false)
+	x := randomField(g, 1)
+	y := g.NewField()
+	g.ApplyStiffness(y, x) // build the arena
+	allocs := testing.AllocsPerRun(50, func() { g.ApplyStiffness(y, x) })
+	if allocs != 0 {
+		t.Fatalf("ApplyStiffness allocated %.1f allocs/op, want 0", allocs)
+	}
+	g.Parallel = 3
+	g.ApplyStiffness(y, x) // grow worker scratch
+	allocs = testing.AllocsPerRun(50, func() { g.ApplyStiffness(y, x) })
+	if allocs != 0 {
+		t.Fatalf("parallel ApplyStiffness allocated %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -72,7 +72,7 @@ func (g *Grid) NewLowEnergyPrec(lambda float64, mask []bool) (*LowEnergyPrec, er
 	})
 
 	// Assemble A_c = Pᵀ A P column by column (nel operator applies).
-	op := helmholtzOp{g: g, lambda: lambda, mask: mask}
+	op := &helmholtzOp{g: g, lambda: lambda, mask: mask}
 	ac := linalg.NewDense(nel, nel)
 	x := g.NewField()
 	y := g.NewField()
@@ -169,7 +169,7 @@ func (g *Grid) SolveHelmholtzDirichletWith(prec linalg.Preconditioner, lambda fl
 		}
 	}
 	b := g.NewField()
-	op := helmholtzOp{g: g, lambda: lambda}
+	op := &helmholtzOp{g: g, lambda: lambda}
 	op.Apply(b, ug)
 	for i := range b {
 		b[i] = g.massDiag[i]*f[i] - b[i]
@@ -202,7 +202,7 @@ func (g *Grid) SolveHelmholtzDirichletWith(prec linalg.Preconditioner, lambda fl
 		}
 		prec = linalg.NewJacobiPrec(diag)
 	}
-	mop := helmholtzOp{g: g, lambda: lambda, mask: mask}
+	mop := &helmholtzOp{g: g, lambda: lambda, mask: mask}
 	res, err := linalg.CG(mop, x, b, prec, tol, maxIter)
 	st := CGStats{Iterations: res.Iterations, Residual: res.Residual}
 	if err != nil {

@@ -36,7 +36,7 @@ func roughRHS(g *Grid, seed int64) []float64 {
 // cgHelper runs unmasked CG on (lambda M + K) x = b with the given
 // preconditioner.
 func cgHelper(g *Grid, lambda float64, x, b []float64, prec linalg.Preconditioner) (bool, error) {
-	op := helmholtzOp{g: g, lambda: lambda}
+	op := &helmholtzOp{g: g, lambda: lambda}
 	res, err := linalg.CG(op, x, b, prec, 1e-10, 4000)
 	return res.Converged, err
 }

@@ -11,135 +11,47 @@ import (
 // matrix ∫ ∇φ·∇ψ (the SPD discrete negative Laplacian), via element-local
 // tensor-product applies: for each direction, y_loc += D^T (c ∘ (D x_loc))
 // with c the quadrature/metric coefficient.
+//
+// Phase A evaluates the element-local applies through the tuned line kernels
+// (kernels.go), tiled over the arena's worker pool into disjoint per-element
+// output ranges; phase B folds them into y serially in fixed element order.
+// The result is bit-identical to applyStiffnessRef for every worker count
+// (pinned by the parity suite), and the steady-state call allocates nothing.
 func (g *Grid) ApplyStiffness(y, x []float64) {
-	p := g.P
-	nq := p + 1
-	w := g.Basis.Weights
-	d := g.Basis.D
-	cx := g.Jy * g.Jz / g.Jx
-	cy := g.Jx * g.Jz / g.Jy
-	cz := g.Jx * g.Jy / g.Jz
-
-	loc := make([]float64, nq*nq*nq)
-	out := make([]float64, nq*nq*nq)
-	tmp := make([]float64, nq)
-	lid := func(i, j, k int) int { return i + nq*(j+nq*k) }
-
-	g.forEachElement(func(ex, ey, ez int) {
-		for k := 0; k < nq; k++ {
-			for j := 0; j < nq; j++ {
-				for i := 0; i < nq; i++ {
-					loc[lid(i, j, k)] = x[g.gid(ex, ey, ez, i, j, k)]
-					out[lid(i, j, k)] = 0
-				}
-			}
+	ar := g.arena()
+	ar.runStiffElems(x)
+	nq3 := ar.nq3
+	for e := 0; e < ar.nel; e++ {
+		out := ar.elemOut[e*nq3 : (e+1)*nq3]
+		gids := ar.gids[e*nq3 : (e+1)*nq3]
+		for l, n := range gids {
+			y[n] += out[l]
 		}
-		// X-direction lines.
-		for k := 0; k < nq; k++ {
-			for j := 0; j < nq; j++ {
-				for q := 0; q < nq; q++ {
-					var s float64
-					for i := 0; i < nq; i++ {
-						s += d[q][i] * loc[lid(i, j, k)]
-					}
-					tmp[q] = s * w[q] * w[j] * w[k] * cx
-				}
-				for i := 0; i < nq; i++ {
-					var s float64
-					for q := 0; q < nq; q++ {
-						s += d[q][i] * tmp[q]
-					}
-					out[lid(i, j, k)] += s
-				}
-			}
-		}
-		// Y-direction lines.
-		for k := 0; k < nq; k++ {
-			for i := 0; i < nq; i++ {
-				for q := 0; q < nq; q++ {
-					var s float64
-					for j := 0; j < nq; j++ {
-						s += d[q][j] * loc[lid(i, j, k)]
-					}
-					tmp[q] = s * w[i] * w[q] * w[k] * cy
-				}
-				for j := 0; j < nq; j++ {
-					var s float64
-					for q := 0; q < nq; q++ {
-						s += d[q][j] * tmp[q]
-					}
-					out[lid(i, j, k)] += s
-				}
-			}
-		}
-		// Z-direction lines.
-		for j := 0; j < nq; j++ {
-			for i := 0; i < nq; i++ {
-				for q := 0; q < nq; q++ {
-					var s float64
-					for k := 0; k < nq; k++ {
-						s += d[q][k] * loc[lid(i, j, k)]
-					}
-					tmp[q] = s * w[i] * w[j] * w[q] * cz
-				}
-				for k := 0; k < nq; k++ {
-					var s float64
-					for q := 0; q < nq; q++ {
-						s += d[q][k] * tmp[q]
-					}
-					out[lid(i, j, k)] += s
-				}
-			}
-		}
-		for k := 0; k < nq; k++ {
-			for j := 0; j < nq; j++ {
-				for i := 0; i < nq; i++ {
-					y[g.gid(ex, ey, ez, i, j, k)] += out[lid(i, j, k)]
-				}
-			}
-		}
-	})
+	}
 }
 
-// StiffnessDiag assembles the diagonal of K for Jacobi preconditioning.
+// StiffnessDiag assembles the diagonal of K for Jacobi preconditioning. The
+// returned field is a fresh copy (callers shift it by lambda*M in place);
+// hot solves use the arena's cached diagonal instead.
 func (g *Grid) StiffnessDiag() []float64 {
-	p := g.P
-	nq := p + 1
-	w := g.Basis.Weights
-	d := g.Basis.D
-	cx := g.Jy * g.Jz / g.Jx
-	cy := g.Jx * g.Jz / g.Jy
-	cz := g.Jx * g.Jy / g.Jz
 	diag := g.NewField()
-	g.forEachElement(func(ex, ey, ez int) {
-		for k := 0; k < nq; k++ {
-			for j := 0; j < nq; j++ {
-				for i := 0; i < nq; i++ {
-					var s float64
-					for q := 0; q < nq; q++ {
-						s += w[q] * w[j] * w[k] * cx * d[q][i] * d[q][i]
-						s += w[i] * w[q] * w[k] * cy * d[q][j] * d[q][j]
-						s += w[i] * w[j] * w[q] * cz * d[q][k] * d[q][k]
-					}
-					diag[g.gid(ex, ey, ez, i, j, k)] += s
-				}
-			}
-		}
-	})
+	copy(diag, g.arena().stiffDiag)
 	return diag
 }
 
 // helmholtzOp is the masked operator y = (lambda*M + K) x with identity rows
-// on Dirichlet nodes (x is kept zero there during CG).
+// on Dirichlet nodes (x is kept zero there during CG). Pointer methods so a
+// prebuilt instance can live in an interface field with lambda mutated per
+// solve, avoiding a per-solve allocation.
 type helmholtzOp struct {
 	g      *Grid
 	lambda float64
 	mask   []bool
 }
 
-func (o helmholtzOp) Dim() int { return o.g.NumNodes() }
+func (o *helmholtzOp) Dim() int { return o.g.NumNodes() }
 
-func (o helmholtzOp) Apply(y, x []float64) {
+func (o *helmholtzOp) Apply(y, x []float64) {
 	for i := range y {
 		y[i] = 0
 	}
@@ -187,27 +99,29 @@ func (g *Grid) removeMean(f []float64) {
 	}
 }
 
-// SolveHelmholtzDirichlet solves (lambda*M + K) u = M f with u = gBC on
-// every Dirichlet (non-periodic boundary) node; f and gBC are nodal fields
-// (gBC consulted on the mask only). Overwrites and returns u; uInit provides
-// the initial guess ("predicting a good initial state"). The returned
-// SolveStats carries the inner CG iteration count and residual history so
-// telemetry and tests can assert convergence behavior instead of discarding
-// it.
-func (g *Grid) SolveHelmholtzDirichlet(lambda float64, f, gBC, uInit []float64, tol float64, maxIter int) ([]float64, linalg.SolveStats, error) {
-	mask := g.BoundaryMask()
+// SolveHelmholtzDirichletIn solves (lambda*M + K) u = M f with u = gBC on
+// every Dirichlet (non-periodic boundary) node, in place: u provides the
+// initial guess ("predicting a good initial state") and receives the
+// solution on success (it is left untouched on error). All workspace comes
+// from the grid arena, so steady-state solves allocate nothing.
+func (g *Grid) SolveHelmholtzDirichletIn(u []float64, lambda float64, f, gBC []float64, tol float64, maxIter int) (linalg.SolveStats, error) {
+	ar := g.arena()
+	mask := ar.mask
 
 	// Lifting: u = u0 + ug, with ug = gBC on the mask and 0 inside.
-	ug := g.NewField()
+	ug := ar.ug
+	for i := range ug {
+		ug[i] = 0
+	}
 	for i, m := range mask {
 		if m {
 			ug[i] = gBC[i]
 		}
 	}
 	// b = M f - (lambda M + K) ug, restricted to interior.
-	b := g.NewField()
-	op := helmholtzOp{g: g, lambda: lambda}
-	op.Apply(b, ug)
+	b := ar.b
+	ar.op.lambda = lambda
+	ar.op.Apply(b, ug)
 	for i := range b {
 		b[i] = g.massDiag[i]*f[i] - b[i]
 	}
@@ -217,49 +131,67 @@ func (g *Grid) SolveHelmholtzDirichlet(lambda float64, f, gBC, uInit []float64, 
 		}
 	}
 
-	// Initial interior guess from uInit (zero on mask for the CG subspace).
-	x := g.NewField()
-	if uInit != nil {
-		copy(x, uInit)
-		for i, m := range mask {
-			if m {
-				x[i] = 0
-			} else {
-				x[i] -= ug[i] // uInit approximates the full solution
-			}
+	// Initial interior guess from u (zero on mask for the CG subspace).
+	x := ar.x
+	copy(x, u)
+	for i, m := range mask {
+		if m {
+			x[i] = 0
+		} else {
+			x[i] -= ug[i] // u approximates the full solution
 		}
 	}
-	diag := g.StiffnessDiag()
+	diag := ar.diag
 	for i := range diag {
-		diag[i] += lambda * g.massDiag[i]
+		diag[i] = ar.stiffDiag[i] + lambda*g.massDiag[i]
 	}
 	for i, m := range mask {
 		if m {
 			diag[i] = 1
 		}
 	}
-	mop := helmholtzOp{g: g, lambda: lambda, mask: mask}
-	res, err := linalg.CG(mop, x, b, linalg.NewJacobiPrec(diag), tol, maxIter)
+	ar.jac.SetDiag(diag)
+	ar.mop.lambda = lambda
+	res, err := linalg.CGWith(&ar.cgws, ar.mopIface, x, b, ar.jacIface, tol, maxIter)
+	if err != nil {
+		return res, err
+	}
+	if !res.Converged {
+		return res, fmt.Errorf("nektar3d: Helmholtz CG stalled at %g after %d iterations", res.Residual, res.Iterations)
+	}
+	for i := range x {
+		u[i] = x[i] + ug[i]
+	}
+	return res, nil
+}
+
+// SolveHelmholtzDirichlet is the allocating wrapper around
+// SolveHelmholtzDirichletIn, kept for callers that want a fresh solution
+// field; f and gBC are nodal fields (gBC consulted on the mask only), uInit
+// provides the initial guess (nil for zero). The returned SolveStats carries
+// the inner CG iteration count and residual history so telemetry and tests
+// can assert convergence behavior instead of discarding it.
+func (g *Grid) SolveHelmholtzDirichlet(lambda float64, f, gBC, uInit []float64, tol float64, maxIter int) ([]float64, linalg.SolveStats, error) {
+	u := g.NewField()
+	if uInit != nil {
+		copy(u, uInit)
+	}
+	res, err := g.SolveHelmholtzDirichletIn(u, lambda, f, gBC, tol, maxIter)
 	if err != nil {
 		return nil, res, err
 	}
-	if !res.Converged {
-		return nil, res, fmt.Errorf("nektar3d: Helmholtz CG stalled at %g after %d iterations", res.Residual, res.Iterations)
-	}
-	for i := range x {
-		x[i] += ug[i]
-	}
-	return x, res, nil
+	return u, res, nil
 }
 
-// SolvePoissonNeumann solves K p = -M s (that is, ∇²p = s weakly) with
-// homogeneous Neumann boundaries on all non-periodic faces. The constant
-// null space is removed from both right-hand side and solution. pInit seeds
-// CG. The returned SolveStats carries the CG iteration count and residual
-// history.
-func (g *Grid) SolvePoissonNeumann(s, pInit []float64, tol float64, maxIter int) ([]float64, linalg.SolveStats, error) {
+// SolvePoissonNeumannIn solves K p = -M s (that is, ∇²p = s weakly) with
+// homogeneous Neumann boundaries on all non-periodic faces, in place: p
+// seeds CG and receives the mean-free solution on success (untouched on
+// error). The constant null space is removed from both right-hand side and
+// solution. Arena-backed: steady-state solves allocate nothing.
+func (g *Grid) SolvePoissonNeumannIn(p, s []float64, tol float64, maxIter int) (linalg.SolveStats, error) {
+	ar := g.arena()
 	n := g.NumNodes()
-	b := make([]float64, n)
+	b := ar.b
 	for i := range b {
 		b[i] = -g.massDiag[i] * s[i]
 	}
@@ -272,9 +204,9 @@ func (g *Grid) SolvePoissonNeumann(s, pInit []float64, tol float64, maxIter int)
 		b[i] -= mean / float64(n)
 	}
 
-	x := make([]float64, n)
-	if pInit != nil {
-		copy(x, pInit)
+	x := ar.x
+	copy(x, p)
+	{
 		var mean float64
 		for _, v := range x {
 			mean += v
@@ -284,71 +216,113 @@ func (g *Grid) SolvePoissonNeumann(s, pInit []float64, tol float64, maxIter int)
 			x[i] -= mean
 		}
 	}
-	diag := g.StiffnessDiag()
-	op := helmholtzOp{g: g, lambda: 0}
-	prec := meanFreePrec{inner: linalg.NewJacobiPrec(diag)}
-	res, err := linalg.CG(op, x, b, prec, tol, maxIter)
+	diag := ar.diag
+	copy(diag, ar.stiffDiag)
+	ar.jac.SetDiag(diag)
+	ar.op.lambda = 0
+	res, err := linalg.CGWith(&ar.cgws, ar.opIface, x, b, ar.mfIface, tol, maxIter)
+	if err != nil {
+		return res, err
+	}
+	if !res.Converged && res.Residual > math.Sqrt(tol) {
+		return res, fmt.Errorf("nektar3d: Poisson CG stalled at %g after %d iterations", res.Residual, res.Iterations)
+	}
+	g.removeMean(x)
+	copy(p, x)
+	return res, nil
+}
+
+// SolvePoissonNeumann is the allocating wrapper around SolvePoissonNeumannIn
+// (pInit nil for a zero initial guess).
+func (g *Grid) SolvePoissonNeumann(s, pInit []float64, tol float64, maxIter int) ([]float64, linalg.SolveStats, error) {
+	p := g.NewField()
+	if pInit != nil {
+		copy(p, pInit)
+	}
+	res, err := g.SolvePoissonNeumannIn(p, s, tol, maxIter)
 	if err != nil {
 		return nil, res, err
 	}
-	if !res.Converged && res.Residual > math.Sqrt(tol) {
-		return nil, res, fmt.Errorf("nektar3d: Poisson CG stalled at %g after %d iterations", res.Residual, res.Iterations)
-	}
-	g.removeMean(x)
-	return x, res, nil
+	return p, res, nil
 }
 
-// Gradient computes the collocation gradient of a nodal field, averaging the
-// (discontinuous) element derivatives at shared nodes.
-func (g *Grid) Gradient(f []float64) (fx, fy, fz []float64) {
-	nq := g.P + 1
-	d := g.Basis.D
-	fx = g.NewField()
-	fy = g.NewField()
-	fz = g.NewField()
-	loc := make([]float64, nq*nq*nq)
-	lid := func(i, j, k int) int { return i + nq*(j+nq*k) }
-	g.forEachElement(func(ex, ey, ez int) {
-		for k := 0; k < nq; k++ {
-			for j := 0; j < nq; j++ {
-				for i := 0; i < nq; i++ {
-					loc[lid(i, j, k)] = f[g.gid(ex, ey, ez, i, j, k)]
-				}
-			}
+// GradientInto computes the collocation gradient of f into fx, fy, fz,
+// averaging the (discontinuous) element derivatives at shared nodes.
+// Arena-backed and bit-identical to gradientRef for every worker count.
+func (g *Grid) GradientInto(fx, fy, fz, f []float64) {
+	ar := g.arena()
+	ar.runGradElems(f)
+	for i := range fx {
+		fx[i], fy[i], fz[i] = 0, 0, 0
+	}
+	nq3 := ar.nq3
+	for e := 0; e < ar.nel; e++ {
+		gx := ar.elemG[e*nq3 : (e+1)*nq3]
+		gy := ar.elemG[ar.nel*nq3+e*nq3:][:nq3]
+		gz := ar.elemG[2*ar.nel*nq3+e*nq3:][:nq3]
+		gids := ar.gids[e*nq3 : (e+1)*nq3]
+		for l, n := range gids {
+			fx[n] += gx[l] / g.Jx
+			fy[n] += gy[l] / g.Jy
+			fz[n] += gz[l] / g.Jz
 		}
-		for k := 0; k < nq; k++ {
-			for j := 0; j < nq; j++ {
-				for i := 0; i < nq; i++ {
-					var sx, sy, sz float64
-					for q := 0; q < nq; q++ {
-						sx += d[i][q] * loc[lid(q, j, k)]
-						sy += d[j][q] * loc[lid(i, q, k)]
-						sz += d[k][q] * loc[lid(i, j, q)]
-					}
-					n := g.gid(ex, ey, ez, i, j, k)
-					fx[n] += sx / g.Jx
-					fy[n] += sy / g.Jy
-					fz[n] += sz / g.Jz
-				}
-			}
-		}
-	})
+	}
 	for i := range fx {
 		fx[i] /= g.mult[i]
 		fy[i] /= g.mult[i]
 		fz[i] /= g.mult[i]
 	}
+}
+
+// Gradient computes the collocation gradient of a nodal field into fresh
+// fields (allocating wrapper around GradientInto).
+func (g *Grid) Gradient(f []float64) (fx, fy, fz []float64) {
+	fx = g.NewField()
+	fy = g.NewField()
+	fz = g.NewField()
+	g.GradientInto(fx, fy, fz, f)
 	return fx, fy, fz
 }
 
-// Divergence computes ∇·(u,v,w) via collocation gradients.
-func (g *Grid) Divergence(u, v, w []float64) []float64 {
-	ux, _, _ := g.Gradient(u)
-	_, vy, _ := g.Gradient(v)
-	_, _, wz := g.Gradient(w)
-	div := g.NewField()
+// DivergenceInto computes ∇·(u,v,w) into div via collocation gradients,
+// reusing the arena's directional-derivative fields. Matches the historical
+// ux+vy+wz evaluation bit for bit.
+func (g *Grid) DivergenceInto(div, u, v, w []float64) {
+	ar := g.arena()
+	g.derivInto(ar.dxF, u, 0)
+	g.derivInto(ar.dyF, v, 1)
+	g.derivInto(ar.dzF, w, 2)
 	for i := range div {
-		div[i] = ux[i] + vy[i] + wz[i]
+		div[i] = ar.dxF[i] + ar.dyF[i] + ar.dzF[i]
 	}
+}
+
+// derivInto computes the single collocation derivative d f/d{x,y,z} (dir
+// 0/1/2) into dst, with the same scatter/average as the matching Gradient
+// component.
+func (g *Grid) derivInto(dst, f []float64, dir int) {
+	ar := g.arena()
+	ar.runGradElems(f)
+	for i := range dst {
+		dst[i] = 0
+	}
+	nq3 := ar.nq3
+	jac := [3]float64{g.Jx, g.Jy, g.Jz}[dir]
+	for e := 0; e < ar.nel; e++ {
+		gd := ar.elemG[dir*ar.nel*nq3+e*nq3:][:nq3]
+		gids := ar.gids[e*nq3 : (e+1)*nq3]
+		for l, n := range gids {
+			dst[n] += gd[l] / jac
+		}
+	}
+	for i := range dst {
+		dst[i] /= g.mult[i]
+	}
+}
+
+// Divergence computes ∇·(u,v,w) into a fresh field (allocating wrapper).
+func (g *Grid) Divergence(u, v, w []float64) []float64 {
+	div := g.NewField()
+	g.DivergenceInto(div, u, v, w)
 	return div
 }

@@ -68,6 +68,17 @@ type Solver struct {
 	// Order-2 history: previous velocity and previous explicit term.
 	uPrev, vPrev, wPrev       []float64
 	exuPrev, exvPrev, exwPrev []float64
+
+	// Step scratch (arena contract, DESIGN.md §14): solver-owned buffers the
+	// step path reuses so steady-state Step performs zero allocations. Pure
+	// workspace — overwritten before every use, never checkpointed (state.go
+	// captures named state fields only). exu/exv/exw pointer-swap with
+	// exuPrev/... each step instead of aliasing, so history stays intact.
+	exu, exv, exw []float64 // current explicit term
+	qx, qy, qz    []float64 // advect/projection gradient components
+	us, vs, ws    []float64 // intermediate velocity
+	div           []float64 // divergence RHS
+	rhsU, rhsV, rhsW []float64
 }
 
 // NewSolver builds a solver with zero initial fields.
@@ -120,25 +131,42 @@ func (s *Solver) fillBC(t float64) {
 	}
 }
 
-// advect computes the convective term (u·∇)q for a scalar field q.
-func (s *Solver) advect(q []float64) []float64 {
-	qx, qy, qz := s.G.Gradient(q)
-	out := s.G.NewField()
-	for i := range out {
-		out[i] = s.U[i]*qx[i] + s.V[i]*qy[i] + s.W[i]*qz[i]
+// ensureScratch sizes the solver-owned step buffers (no-op once built; the
+// exu trio is re-created lazily because the history swap can leave a side
+// nil right after a restore).
+func (s *Solver) ensureScratch() {
+	g := s.G
+	if s.exu == nil {
+		s.exu = g.NewField()
+		s.exv = g.NewField()
+		s.exw = g.NewField()
 	}
-	return out
+	if s.us == nil {
+		s.qx, s.qy, s.qz = g.NewField(), g.NewField(), g.NewField()
+		s.us, s.vs, s.ws = g.NewField(), g.NewField(), g.NewField()
+		s.div = g.NewField()
+		s.rhsU, s.rhsV, s.rhsW = g.NewField(), g.NewField(), g.NewField()
+	}
 }
 
-// explicitTerm computes ex = f - (u·∇)u at the current state.
-func (s *Solver) explicitTerm() (exu, exv, exw []float64) {
+// advectInto computes the convective term (u·∇)q into dst.
+func (s *Solver) advectInto(dst, q []float64) {
+	s.G.GradientInto(s.qx, s.qy, s.qz, q)
+	for i := range dst {
+		dst[i] = s.U[i]*s.qx[i] + s.V[i]*s.qy[i] + s.W[i]*s.qz[i]
+	}
+}
+
+// explicitTerm computes ex = f - (u·∇)u at the current state into the
+// solver's exu/exv/exw scratch.
+func (s *Solver) explicitTerm() {
 	g := s.G
-	nu1 := s.advect(s.U)
-	nv1 := s.advect(s.V)
-	nw1 := s.advect(s.W)
-	exu = g.NewField()
-	exv = g.NewField()
-	exw = g.NewField()
+	// The advected components land in exu/exv/exw directly and are negated
+	// in the force pass below (exu[n] = fx - exu[n] matches the historical
+	// fx - nu1[n] bit for bit).
+	s.advectInto(s.exu, s.U)
+	s.advectInto(s.exv, s.V)
+	s.advectInto(s.exw, s.W)
 	for k := 0; k < g.Nz; k++ {
 		for j := 0; j < g.Ny; j++ {
 			for i := 0; i < g.Nx; i++ {
@@ -147,13 +175,12 @@ func (s *Solver) explicitTerm() (exu, exv, exw []float64) {
 				if s.Force != nil {
 					fx, fy, fz = s.Force(s.Time, g.X[i], g.Y[j], g.Z[k])
 				}
-				exu[n] = fx - nu1[n]
-				exv[n] = fy - nv1[n]
-				exw[n] = fz - nw1[n]
+				s.exu[n] = fx - s.exu[n]
+				s.exv[n] = fy - s.exv[n]
+				s.exw[n] = fz - s.exw[n]
 			}
 		}
 	}
-	return exu, exv, exw
 }
 
 // Step advances one time step of the stiffly stable velocity-correction
@@ -182,13 +209,15 @@ func (s *Solver) Step() error {
 		return err
 	}
 
+	s.ensureScratch()
+	s.Rec.Gauge("ns.parallel", float64(g.Workers()))
+
 	// 1. Explicit step: û = Σ α_q u^{n-q} + dt Σ β_q (f - N)^{n-q};
 	// order 1: α = (1), β = (1); order 2: α = (2, -1/2), β = (2, -1).
 	adv := s.Rec.Begin("ns.advection")
-	exu, exv, exw := s.explicitTerm()
-	us := g.NewField()
-	vs := g.NewField()
-	ws := g.NewField()
+	s.explicitTerm()
+	exu, exv, exw := s.exu, s.exv, s.exw
+	us, vs, ws := s.us, s.vs, s.ws
 	gamma0 := 1.0
 	if order == 1 {
 		for i := range us {
@@ -204,20 +233,25 @@ func (s *Solver) Step() error {
 			ws[i] = 2*s.W[i] - 0.5*s.wPrev[i] + dt*(2*exw[i]-s.exwPrev[i])
 		}
 	}
-	// Record history for the next step.
+	// Record history for the next step. The explicit-term buffers swap with
+	// the history slots (no copy, no aliasing); ensureScratch re-creates the
+	// scratch side next step if the history side was nil.
 	s.uPrev = append(s.uPrev[:0], s.U...)
 	s.vPrev = append(s.vPrev[:0], s.V...)
 	s.wPrev = append(s.wPrev[:0], s.W...)
-	s.exuPrev, s.exvPrev, s.exwPrev = exu, exv, exw
+	s.exuPrev, s.exu = s.exu, s.exuPrev
+	s.exvPrev, s.exv = s.exv, s.exvPrev
+	s.exwPrev, s.exw = s.exw, s.exwPrev
 	adv.End()
 
 	// 2. Pressure Poisson: ∇²p = ∇·û/dt, homogeneous Neumann.
 	pr := s.Rec.Begin("ns.pressure")
-	div := g.Divergence(us, vs, ws)
+	div := s.div
+	g.DivergenceInto(div, us, vs, ws)
 	for i := range div {
 		div[i] /= dt
 	}
-	p, pst, err := g.SolvePoissonNeumann(div, s.Pr, s.Tol, s.MaxIter)
+	pst, err := g.SolvePoissonNeumannIn(s.Pr, div, s.Tol, s.MaxIter)
 	pr.End()
 	if err != nil {
 		return fmt.Errorf("pressure solve: %w", err)
@@ -225,15 +259,14 @@ func (s *Solver) Step() error {
 	s.Rec.Gauge("ns.pressure.iters", float64(pst.Iterations))
 	s.Rec.Gauge("ns.pressure.residual", pst.Residual)
 	s.Watch.ObserveSolve("ns.pressure", pst, s.MaxIter)
-	s.Pr = p
 
 	// 3. Projection: û̂ = û - dt ∇p.
 	proj := s.Rec.Begin("ns.projection")
-	px, py, pz := g.Gradient(p)
+	g.GradientInto(s.qx, s.qy, s.qz, s.Pr)
 	for i := range us {
-		us[i] -= dt * px[i]
-		vs[i] -= dt * py[i]
-		ws[i] -= dt * pz[i]
+		us[i] -= dt * s.qx[i]
+		vs[i] -= dt * s.qy[i]
+		ws[i] -= dt * s.qz[i]
 	}
 	proj.End()
 
@@ -242,9 +275,7 @@ func (s *Solver) Step() error {
 	s.fillBC(tNew)
 	lambda := gamma0 / (s.Nu * dt)
 	scale := 1 / (s.Nu * dt)
-	rhsU := g.NewField()
-	rhsV := g.NewField()
-	rhsW := g.NewField()
+	rhsU, rhsV, rhsW := s.rhsU, s.rhsV, s.rhsW
 	for i := range rhsU {
 		rhsU[i] = us[i] * scale
 		rhsV[i] = vs[i] * scale
@@ -253,17 +284,17 @@ func (s *Solver) Step() error {
 	helm := s.Rec.Begin("ns.helmholtz")
 	var hst linalg.SolveStats
 	var hIters int
-	if s.U, hst, err = g.SolveHelmholtzDirichlet(lambda, rhsU, s.bcU, s.U, s.Tol, s.MaxIter); err != nil {
+	if hst, err = g.SolveHelmholtzDirichletIn(s.U, lambda, rhsU, s.bcU, s.Tol, s.MaxIter); err != nil {
 		helm.End()
 		return fmt.Errorf("viscous solve u: %w", err)
 	}
 	hIters += hst.Iterations
-	if s.V, hst, err = g.SolveHelmholtzDirichlet(lambda, rhsV, s.bcV, s.V, s.Tol, s.MaxIter); err != nil {
+	if hst, err = g.SolveHelmholtzDirichletIn(s.V, lambda, rhsV, s.bcV, s.Tol, s.MaxIter); err != nil {
 		helm.End()
 		return fmt.Errorf("viscous solve v: %w", err)
 	}
 	hIters += hst.Iterations
-	if s.W, hst, err = g.SolveHelmholtzDirichlet(lambda, rhsW, s.bcW, s.W, s.Tol, s.MaxIter); err != nil {
+	if hst, err = g.SolveHelmholtzDirichletIn(s.W, lambda, rhsW, s.bcW, s.Tol, s.MaxIter); err != nil {
 		helm.End()
 		return fmt.Errorf("viscous solve w: %w", err)
 	}

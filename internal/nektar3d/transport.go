@@ -109,7 +109,7 @@ func (tr *Transport) Step() error {
 		for i := range diag {
 			diag[i] += lambda * g.massDiag[i]
 		}
-		op := helmholtzOp{g: g, lambda: lambda}
+		op := &helmholtzOp{g: g, lambda: lambda}
 		x := append([]float64(nil), tr.C...)
 		res, err := linalg.CG(op, x, b, linalg.NewJacobiPrec(diag), tr.Tol, tr.MaxIter)
 		if err != nil {

@@ -1,0 +1,103 @@
+package simd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveMatVec is the loop shape the line kernels replace; the tuned variants
+// must match it bit-for-bit, not to a tolerance.
+func naiveMatVec(y, a, x []float64, rows, cols int, acc bool) {
+	for r := 0; r < rows; r++ {
+		var s float64
+		for c := 0; c < cols; c++ {
+			s += a[r*cols+c] * x[c]
+		}
+		if acc {
+			y[r] += s
+		} else {
+			y[r] = s
+		}
+	}
+}
+
+func TestMatVecBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, dim := range [][2]int{{1, 1}, {3, 3}, {4, 4}, {5, 7}, {7, 5}, {8, 8}, {9, 9}, {13, 6}} {
+		rows, cols := dim[0], dim[1]
+		a := make([]float64, rows*cols)
+		x := make([]float64, cols)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, rows)
+		got := make([]float64, rows)
+		naiveMatVec(want, a, x, rows, cols, false)
+		MatVec(got, a, x, rows, cols)
+		for r := range want {
+			if got[r] != want[r] {
+				t.Fatalf("MatVec %dx%d row %d: %v != %v", rows, cols, r, got[r], want[r])
+			}
+		}
+		for i := range want {
+			want[i] = float64(i) * 0.25
+			got[i] = float64(i) * 0.25
+		}
+		naiveMatVec(want, a, x, rows, cols, true)
+		MatVecAcc(got, a, x, rows, cols)
+		for r := range want {
+			if got[r] != want[r] {
+				t.Fatalf("MatVecAcc %dx%d row %d: %v != %v", rows, cols, r, got[r], want[r])
+			}
+		}
+	}
+}
+
+func TestAddToXpayBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 3, 4, 17, 100} {
+		x := make([]float64, n)
+		y0 := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y0[i] = rng.NormFloat64()
+		}
+		alpha := rng.NormFloat64()
+
+		want := append([]float64(nil), y0...)
+		got := append([]float64(nil), y0...)
+		for i := range want {
+			want[i] += x[i]
+		}
+		AddTo(got, x)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("AddTo n=%d i=%d: %v != %v", n, i, got[i], want[i])
+			}
+		}
+
+		want = append(want[:0], y0...)
+		got = append(got[:0], y0...)
+		for i := range want {
+			want[i] = x[i] + alpha*want[i]
+		}
+		Xpay(alpha, x, got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Xpay n=%d i=%d: %v != %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMatVecPanicsOnShortSlices(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatVec(make([]float64, 2), make([]float64, 4), make([]float64, 2), 3, 2)
+}

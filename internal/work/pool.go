@@ -1,0 +1,77 @@
+// Package work provides a persistent fork-join worker pool for the
+// solvers' intra-rank parallel loops (SEM operator tiling, DPD force
+// strips). The pool exists because those loops sit inside CG iterations and
+// velocity-Verlet steps: spawning goroutines per apply would allocate on
+// every inner iteration, while parked workers woken over channels keep the
+// steady-state step path at zero allocations (the arena contract pinned by
+// the AllocsPerRun guards in the verify gate).
+//
+// Determinism is the caller's job: the pool guarantees only that fn(0..n-1)
+// all ran before Run returns. Callers keep results bit-identical across
+// worker counts by writing to disjoint, index-addressed output ranges and
+// merging in a fixed order afterwards (see nektar3d's element scatter and
+// dpd's tile merge).
+package work
+
+import "sync"
+
+// Pool runs fork-join parallel sections on persistent worker goroutines.
+// The zero value is ready to use; workers are spawned lazily on first use
+// and parked on their wake channels between calls. A Pool must not be used
+// from multiple goroutines concurrently (each Grid / dpd.System owns one).
+type Pool struct {
+	mu   sync.Mutex
+	wake []chan func(int) // one per spawned worker, worker w reads wake[w-1]
+	done []chan struct{}  // worker w signals done[w-1]
+}
+
+// Run invokes fn(w) for w in [0, n) concurrently and returns when all calls
+// have completed. Worker 0 runs on the calling goroutine, so n <= 1 is a
+// plain function call. fn should be a preallocated closure (stored by the
+// caller, not rebuilt per call) to keep Run allocation-free in steady state.
+func (p *Pool) Run(n int, fn func(worker int)) {
+	if n <= 1 {
+		fn(0)
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.grow(n - 1)
+	for w := 1; w < n; w++ {
+		p.wake[w-1] <- fn
+	}
+	fn(0)
+	for w := 1; w < n; w++ {
+		<-p.done[w-1]
+	}
+}
+
+// grow ensures at least n parked workers exist. Called with mu held.
+func (p *Pool) grow(n int) {
+	for len(p.wake) < n {
+		w := len(p.wake) + 1 // worker index passed to fn
+		c := make(chan func(int), 1)
+		d := make(chan struct{}, 1)
+		p.wake = append(p.wake, c)
+		p.done = append(p.done, d)
+		go func() {
+			for fn := range c {
+				fn(w)
+				d <- struct{}{}
+			}
+		}()
+	}
+}
+
+// Stop terminates all parked workers. The pool is reusable afterwards
+// (workers respawn on the next Run); Stop exists so tests can bound
+// goroutine counts.
+func (p *Pool) Stop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.wake {
+		close(c)
+	}
+	p.wake = nil
+	p.done = nil
+}

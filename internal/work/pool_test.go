@@ -1,0 +1,69 @@
+package work
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsAllWorkers(t *testing.T) {
+	var p Pool
+	defer p.Stop()
+	for _, n := range []int{1, 2, 3, 8} {
+		var ran [8]int32
+		var calls int32
+		p.Run(n, func(w int) {
+			atomic.AddInt32(&calls, 1)
+			atomic.AddInt32(&ran[w], 1)
+		})
+		if got := int(atomic.LoadInt32(&calls)); got != n {
+			t.Fatalf("n=%d: %d calls", n, got)
+		}
+		for w := 0; w < n; w++ {
+			if c := atomic.LoadInt32(&ran[w]); c != 1 {
+				t.Fatalf("n=%d: worker %d ran %d times, want 1", n, w, c)
+			}
+		}
+	}
+}
+
+func TestPoolWorkerZeroOnCaller(t *testing.T) {
+	var p Pool
+	defer p.Stop()
+	ch := make(chan int, 4)
+	p.Run(1, func(w int) { ch <- w })
+	if w := <-ch; w != 0 {
+		t.Fatalf("n=1 ran worker %d", w)
+	}
+}
+
+func TestPoolReusableAfterStop(t *testing.T) {
+	var p Pool
+	var calls int32
+	p.Run(4, func(int) { atomic.AddInt32(&calls, 1) })
+	p.Stop()
+	p.Run(4, func(int) { atomic.AddInt32(&calls, 1) })
+	p.Stop()
+	if calls != 8 {
+		t.Fatalf("calls = %d, want 8", calls)
+	}
+}
+
+func TestPoolRunZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	var p Pool
+	defer p.Stop()
+	var sink [4]int
+	fn := func(w int) { sink[w]++ } // prebuilt closure, as arena callers do
+	p.Run(4, fn)                    // warm up: spawn workers
+	allocs := testing.AllocsPerRun(100, func() { p.Run(4, fn) })
+	if allocs != 0 {
+		t.Fatalf("Pool.Run allocated %.1f allocs/op, want 0", allocs)
+	}
+	if sink[0] == 0 {
+		t.Fatal("worker 0 never ran")
+	}
+	_ = runtime.NumGoroutine()
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package work
+
+// raceEnabled reports that the race detector instruments this build; the
+// zero-alloc guard skips then (instrumented channel ops allocate).
+const raceEnabled = true

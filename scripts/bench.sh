@@ -7,7 +7,8 @@
 # OUT=..., used by make bench-compare): a single JSON document with the
 # scaling tables (as emitted by `go run ./cmd/scaling -json`) plus raw
 # `go test -bench` transcripts for the comm, telemetry, monitor, checkpoint,
-# in-situ, transport, cluster observability and physics-audit suites.
+# in-situ, transport, cluster observability, physics-audit and hot-path
+# kernel suites.
 #
 # Usage: scripts/bench.sh   (or: make bench-telemetry)
 set -eu
@@ -52,12 +53,17 @@ echo "== audit benchmarks (disabled hook, per-exchange ledger update, exposition
 audit=$(go test -run '^$' -bench 'BenchmarkAudit' -benchmem ./internal/audit 2>&1)
 printf '%s\n' "$audit"
 
+echo "== kernel benchmarks (SEM tensor-product tuned vs reference, Helmholtz/CG, DPD forces; hot paths must report 0 allocs/op) =="
+kernels=$(go test -run '^$' -bench 'BenchmarkKernel' -benchmem \
+	./internal/nektar3d ./internal/linalg ./internal/dpd 2>&1)
+printf '%s\n' "$kernels"
+
 echo "== scaling tables (cmd/scaling -json) =="
 tables=$(go run ./cmd/scaling -json)
 
 # Assemble the bundle without extra tooling: the bench transcripts are
 # embedded as JSON string arrays (one element per line) via go run so we
 # need no jq/python in the container.
-COMM="$comm" TELE="$tele" MONITOR="$mon" CKPT="$ckpt" INSITU="$insitu" TRANSPORT="$transport" CLUSTER="$cluster" AUDIT="$audit" TABLES="$tables" go run ./scripts/benchjson >"$out"
+COMM="$comm" TELE="$tele" MONITOR="$mon" CKPT="$ckpt" INSITU="$insitu" TRANSPORT="$transport" CLUSTER="$cluster" AUDIT="$audit" KERNELS="$kernels" TABLES="$tables" go run ./scripts/benchjson >"$out"
 
 echo "wrote $out"

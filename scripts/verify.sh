@@ -61,3 +61,19 @@ go test -run 'TestClusterObservabilitySurvivesProcessKill' -count=1 ./internal/c
 go test -race -run 'TestAuditControlRunStaysInTolerance|TestAuditCatchesInjectedFluxFault|TestAuditLedgerResumeContinuity' -count=1 ./internal/core
 go test -run 'TestScanJournalIntegrityVerdicts|TestGoldenClusterMetrics|TestClusterMetricsHelpTypeLint' -count=1 ./internal/fleet
 go test -run 'TestGoldenAuditExposition|TestAuditExpositionHelpTypeLint' -count=1 ./internal/audit
+
+# Hot-path kernel acceptance (PR 9). The parity suite pins the tuned/tiled
+# SEM tensor-product kernels bit-identical to the retained scalar references
+# and full solver/DPD trajectories bit-identical across worker counts, under
+# the race detector with tiling enabled; the worker pool races its fork-join
+# handoff. The zero-alloc guards then pin the steady-state step paths at
+# exactly 0 allocs/op (run without -race: instrumentation allocates, so the
+# guards skip themselves under the detector).
+go test -race -run 'TestOperatorParityBitIdentical|TestStepBitIdenticalAcrossWorkerCounts' -count=1 ./internal/nektar3d
+go test -race -run 'TestForcesBitIdenticalAcrossWorkerCounts|TestCaptureStateExcludesScratch' -count=1 ./internal/dpd
+go test -race -run 'TestCGWithMatchesCG|TestCGBreakdownReportsDivergencePoint' -count=1 ./internal/linalg
+go test -race -count=1 ./internal/work
+go test -run 'TestSolverStepZeroAllocSteadyState|TestApplyStiffnessZeroAlloc' -count=1 ./internal/nektar3d
+go test -run 'TestVVStepZeroAllocSteadyState' -count=1 ./internal/dpd
+go test -run 'TestCGWithZeroAlloc' -count=1 ./internal/linalg
+go test -run 'TestPoolRunZeroAlloc' -count=1 ./internal/work
