@@ -17,6 +17,7 @@ import (
 
 	"nektarg/internal/audit"
 	"nektarg/internal/fleet"
+	"nektarg/internal/history"
 	"nektarg/internal/monitor"
 	"nektarg/internal/telemetry"
 )
@@ -163,6 +164,28 @@ func (fw *fleetWire) bindAudit(led *audit.Ledger) {
 			"limit":    v.Limit,
 			"exchange": v.Exchange,
 			"message":  v.Message,
+		})
+	})
+}
+
+// bindHistory routes performance anomalies into the run-event journal, so a
+// post-mortem shows "the step time regressed at exchange N" next to the
+// checkpoint commits and watchdog transitions of the same run. Nil wire, nil
+// journal or nil plane all no-op.
+func (fw *fleetWire) bindHistory(h *history.Plane) {
+	if fw == nil || fw.journal == nil || h == nil {
+		return
+	}
+	j := fw.journal
+	h.OnAnomaly(func(a history.Anomaly) {
+		j.Record(fleet.EventPerfAnomaly, map[string]any{
+			"kind":     a.Kind.String(),
+			"series":   a.Series,
+			"step":     a.Step,
+			"value":    a.Value,
+			"baseline": a.Baseline,
+			"z":        a.Z,
+			"profile":  a.ProfilePath,
 		})
 	})
 }

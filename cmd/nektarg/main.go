@@ -15,10 +15,13 @@
 //	                     [-insitu] [-insitu-stride N] [-insitu-policy P]
 //	                     [-insitu-dir DIR] [-insitu-keep K]
 //	                     [-audit] [-flux-scale S]
+//	                     [-history] [-history-stride N] [-history-out FILE]
+//	                     [-history-profile-dir DIR] [-slow-at N] [-slow-ms MS]
 //	                     [-transport tcp -rank N -peers H:P,H:P,...]
 //	                     [-fleet-addr :9190] [-fleet-publish URL] [-version]
 //	go run ./cmd/nektarg trace-merge [-o out.json] [-strict] trace1.json trace2.json ...
 //	go run ./cmd/nektarg events [-json] <checkpoint-dir>/journal.nkj
+//	go run ./cmd/nektarg perf-report [-threshold F] old.json new.json
 //
 // With -checkpoint-dir the run additionally keeps an append-only run-event
 // journal at <dir>/journal.nkj — incarnation starts, world losses, resume
@@ -44,6 +47,21 @@
 // nektarg_audit_* Prometheus series, and an audit critical trips /healthz
 // and fires a flight dump. -flux-scale != 1 deliberately violates interface
 // flux continuity to demonstrate the ledger catching a coupling fault.
+//
+// With -history the run keeps a performance-history plane (see
+// internal/history): every exchange's wall time, per-stage timings, gauges,
+// traffic rates and Go runtime signals sampled into bounded in-memory time
+// series with streamed downsample tiers, judged against rolling EWMA+MAD
+// baselines. A sustained excursion raises a typed anomaly (step-time
+// regression, CG-iteration inflation, traffic spike, imbalance drift,
+// alloc growth), optionally auto-captures a pprof CPU profile
+// (-history-profile-dir), fires an anomaly flight dump (budgeted separately
+// via -flight-anomaly-max) and journals a perf-anomaly event. Combined with
+// -monitor-addr the plane serves GET /history and GET /anomalies;
+// -history-out writes the full document at exit, and the perf-report
+// subcommand diffs two such documents into a regression table. -slow-at /
+// -slow-ms inject a deterministic mid-run slowdown to demonstrate the
+// detection end to end.
 //
 // With -insitu the run additionally publishes downsampled snapshots (patch
 // velocity/pressure slabs, DPD particle subsamples, interface triangulations)
@@ -91,6 +109,7 @@ import (
 	"nektarg/internal/dpd"
 	"nektarg/internal/fleet"
 	"nektarg/internal/geometry"
+	"nektarg/internal/history"
 	"nektarg/internal/insitu"
 	"nektarg/internal/monitor"
 	"nektarg/internal/mpi"
@@ -104,25 +123,31 @@ import (
 
 // telemetryOpts bundles the observability flags shared by both run paths.
 type telemetryOpts struct {
-	enabled     bool   // -telemetry: print per-stage/traffic/gauge tables
-	traceOut    string // -trace-out: Chrome trace_event JSON path
-	jsonOut     string // -telemetry-out: aggregate summary JSON path
-	monitorAddr string // -monitor-addr: live HTTP metrics/health endpoint
-	flightMax   int    // -flight-max: per-run flight dump cap
-	insituOn    bool   // -insitu: live snapshot pipeline
-	insituCfg   insitu.Config
-	insituDir   string // -insitu-dir: rolling VTK series directory
-	insituKeep  int    // -insitu-keep: frames kept on disk
-	auditOn     bool   // -audit: physics conservation/coupling-fidelity ledger
-	auditTol    audit.Tolerance
-	logger      *slog.Logger
+	enabled        bool   // -telemetry: print per-stage/traffic/gauge tables
+	traceOut       string // -trace-out: Chrome trace_event JSON path
+	jsonOut        string // -telemetry-out: aggregate summary JSON path
+	monitorAddr    string // -monitor-addr: live HTTP metrics/health endpoint
+	flightMax      int    // -flight-max: per-run flight dump cap
+	insituOn       bool   // -insitu: live snapshot pipeline
+	insituCfg      insitu.Config
+	insituDir      string // -insitu-dir: rolling VTK series directory
+	insituKeep     int    // -insitu-keep: frames kept on disk
+	auditOn        bool   // -audit: physics conservation/coupling-fidelity ledger
+	auditTol       audit.Tolerance
+	historyOn      bool   // -history: performance-history time-series plane
+	historyStride  int    // -history-stride: sample every N exchange periods
+	historyOut     string // -history-out: write the history document JSON at exit
+	historyProfDir string // -history-profile-dir: anomaly-triggered pprof captures
+	flightAnomaly  int    // -flight-anomaly-max: anomaly flight-dump budget
+	flightDir      string // monitor-side dump directory (<checkpoint-dir>/flight when set)
+	logger         *slog.Logger
 }
 
 // active reports whether any telemetry output was requested; asking for a
 // trace, a summary file, a live monitor, in-situ observation or the physics
 // audit ledger implies enabling the recorders.
 func (o telemetryOpts) active() bool {
-	return o.enabled || o.traceOut != "" || o.jsonOut != "" || o.monitorAddr != "" || o.insituOn || o.auditOn
+	return o.enabled || o.traceOut != "" || o.jsonOut != "" || o.monitorAddr != "" || o.insituOn || o.auditOn || o.historyOn
 }
 
 // insituState is the running in-situ pipeline: closed and drained at exit so
@@ -201,7 +226,9 @@ func (o telemetryOpts) setup(meta *core.Metasolver, tree *nektar1d.Network) (*te
 	}
 	var mon *monitor.Monitor
 	if o.monitorAddr != "" {
-		mon = monitor.New(reg, monitor.Options{FlightLimit: o.flightMax})
+		mon = monitor.New(reg, monitor.Options{
+			FlightDir: o.flightDir, FlightLimit: o.flightMax, FlightAnomalyLimit: o.flightAnomaly,
+		})
 		mon.Health().SetLogger(o.logger)
 		meta.EnableMonitoring(mon.Health())
 		if tree != nil {
@@ -229,6 +256,25 @@ func (o telemetryOpts) setup(meta *core.Metasolver, tree *nektar1d.Network) (*te
 			mon.AddStatSource(led.Stats)
 		}
 		o.logger.Info("physics audit ledger enabled", "monitored", mon != nil)
+	}
+	if o.historyOn {
+		plane := history.New(history.Options{Stride: o.historyStride, ProfileDir: o.historyProfDir})
+		meta.EnableHistory(plane)
+		if mon != nil {
+			mon.SetHistorySource(plane)
+			mon.AddStatSource(plane.Stats)
+			// Anomalies fire a flight dump against the separate anomaly
+			// budget: the context of a slowdown (recent spans, gauges,
+			// imbalance) captured at the moment it was detected, without
+			// drawing down the watchdog/panic dump cap.
+			flight := mon.Flight()
+			plane.OnAnomaly(func(a history.Anomaly) {
+				flight.DumpAnomaly(fmt.Sprintf("perf-anomaly %s: %s z=%.1f at step %d", //nolint:errcheck // best-effort capture
+					a.Kind, a.Series, a.Z, a.Step))
+			})
+		}
+		o.logger.Info("performance history enabled",
+			"stride", plane.Stride(), "profiles", o.historyProfDir != "", "monitored", mon != nil)
 	}
 	if mon == nil {
 		return reg, nil, nil
@@ -274,6 +320,32 @@ func (o telemetryOpts) report(reg *telemetry.Registry, mon *monitor.Monitor, met
 				"worst", led.Status().Worst.String(), "violations", led.Status().Violations)
 		}
 	}
+	if h := meta.History(); h != nil {
+		fmt.Println("\n--- performance history ---")
+		fmt.Printf("samples=%d anomalies=%d sampling_cost=%v\n",
+			h.Samples(), h.AnomalyTotal(), h.SampleCost().Round(time.Microsecond))
+		for _, a := range h.Anomalies() {
+			fmt.Printf("  %-16s %-36s step=%-6d value=%.4g baseline=%.4g z=%.1f\n",
+				a.Kind, a.Series, a.Step, a.Value, a.Baseline, a.Z)
+			if a.ProfilePath != "" {
+				fmt.Printf("  %-16s profile: %s\n", "", a.ProfilePath)
+			}
+		}
+		if h.AnomalyTotal() > 0 {
+			o.logger.Warn("run finished with performance anomalies", "total", h.AnomalyTotal())
+		}
+		if o.historyOut != "" {
+			writeFileWith(o.historyOut, func(w io.Writer) error {
+				doc, err := h.HistoryJSON("", 0, 0)
+				if err != nil {
+					return err
+				}
+				_, err = w.Write(doc)
+				return err
+			})
+			fmt.Printf("wrote performance history to %s (diff two with: nektarg perf-report old.json new.json)\n", o.historyOut)
+		}
+	}
 	if mon != nil && !mon.Health().Healthy() {
 		v := mon.Health().Verdict()
 		o.logger.Error("run finished unhealthy", "trips", v.Trips, "events", v.Events)
@@ -299,6 +371,8 @@ type restartOpts struct {
 	resume      bool   // -resume: reload the newest checkpoint before running
 	maxRestarts int    // -max-restarts: per-position restart budget
 	killAt      int    // -kill-at: one-shot injected panic after this exchange (0 = off)
+	slowAt      int    // -slow-at: injected slowdown from this exchange on (0 = off)
+	slowMs      int    // -slow-ms: injected sleep per exchange, milliseconds
 	flightMax   int    // -flight-max: per-run flight dump cap
 	logger      *slog.Logger
 	// transport, when non-nil, runs this process as one rank of a TCP world
@@ -453,6 +527,21 @@ func driveExchanges(meta *core.Metasolver, networks map[string]*nektar1d.Network
 	})
 }
 
+// armSlowdown arms the metasolver's deterministic slowdown injection
+// (-slow-at/-slow-ms): a fixed sleep inside the step span from the given
+// exchange on. It is the performance-fault analogue of -kill-at — physics
+// untouched, wall time perturbed — and exists so the history plane's
+// step-time anomaly detection can be demonstrated (and tested) on demand.
+func armSlowdown(meta *core.Metasolver, ropts restartOpts) {
+	if ropts.slowAt <= 0 || ropts.slowMs <= 0 {
+		return
+	}
+	meta.SlowAfter = ropts.slowAt
+	meta.SlowBy = time.Duration(ropts.slowMs) * time.Millisecond
+	ropts.logger.Info("slowdown injection armed",
+		"from_exchange", ropts.slowAt, "per_exchange_ms", ropts.slowMs)
+}
+
 // snapshotRecorders captures every recorder's aggregates for the imbalance
 // analyzer.
 func snapshotRecorders(recs []*telemetry.Recorder) []*telemetry.Snapshot {
@@ -519,6 +608,9 @@ func main() {
 		case "events":
 			runEvents(os.Args[2:])
 			return
+		case "perf-report":
+			runPerfReport(os.Args[2:])
+			return
 		}
 	}
 	nPatches := flag.Int("patches", 2, "number of overlapping continuum patches")
@@ -545,6 +637,13 @@ func main() {
 	maxRestarts := flag.Int("max-restarts", core.DefaultMaxRestarts, "per-position restart budget of the recovery loop")
 	killAt := flag.Int("kill-at", 0, "inject a one-shot panic after this exchange (fault-injection demo; survivable with -checkpoint-dir)")
 	flightMax := flag.Int("flight-max", monitor.DefaultFlightLimit, "per-run flight dump cap")
+	flightAnomalyMax := flag.Int("flight-anomaly-max", monitor.DefaultAnomalyFlightLimit, "per-run cap on performance-anomaly flight dumps (a budget separate from -flight-max)")
+	historyOn := flag.Bool("history", false, "enable the performance-history plane: bounded time-series store, anomaly baselines, optional continuous profiling (implies telemetry recording; pairs with -monitor-addr for GET /history and /anomalies)")
+	historyStride := flag.Int("history-stride", 1, "sample the history plane every N exchange periods")
+	historyOut := flag.String("history-out", "", "write the full history document JSON at exit (diff two with the perf-report subcommand)")
+	historyProfDir := flag.String("history-profile-dir", "", "directory for anomaly-triggered pprof CPU profile auto-capture (empty = off; incompatible captures, e.g. under -cpuprofile, are skipped)")
+	slowAt := flag.Int("slow-at", 0, "inject a deterministic slowdown from this exchange on (performance-fault demo the history plane must catch; 0 = off)")
+	slowMs := flag.Int("slow-ms", 20, "injected slowdown per exchange in milliseconds (with -slow-at)")
 	insituOn := flag.Bool("insitu", false, "enable live in-situ observation: non-blocking snapshot publishing to an observer (implies telemetry recording; pairs with -monitor-addr for /snapshot)")
 	insituStride := flag.Int("insitu-stride", 1, "publish a snapshot every N exchange periods")
 	insituPolicy := flag.String("insitu-policy", "drop-oldest", "queue drop policy: drop-oldest|drop-newest")
@@ -579,14 +678,25 @@ func main() {
 	}
 	topts := telemetryOpts{enabled: *teleFlag, traceOut: *traceOut, jsonOut: *teleOut,
 		monitorAddr: *monitorAddr, flightMax: *flightMax,
-		insituOn:   *insituOn,
-		insituCfg:  insitu.Config{Stride: *insituStride, Policy: policy},
-		insituDir:  *insituDir,
-		insituKeep: *insituKeep,
-		auditOn:    *auditOn,
-		logger:     logger}
+		insituOn:       *insituOn,
+		insituCfg:      insitu.Config{Stride: *insituStride, Policy: policy},
+		insituDir:      *insituDir,
+		insituKeep:     *insituKeep,
+		auditOn:        *auditOn,
+		historyOn:      *historyOn,
+		historyStride:  *historyStride,
+		historyOut:     *historyOut,
+		historyProfDir: *historyProfDir,
+		flightAnomaly:  *flightAnomalyMax,
+		logger:         logger}
+	if *ckptDir != "" {
+		// Monitor-side dumps (manual POST /flight, anomaly captures) land next
+		// to the recovery envelope's, not in the working directory.
+		topts.flightDir = filepath.Join(*ckptDir, "flight")
+	}
 	ropts := restartOpts{dir: *ckptDir, every: *ckptEvery, resume: *resume,
-		maxRestarts: *maxRestarts, killAt: *killAt, flightMax: *flightMax, logger: logger}
+		maxRestarts: *maxRestarts, killAt: *killAt, slowAt: *slowAt, slowMs: *slowMs,
+		flightMax: *flightMax, logger: logger}
 	tflags := transportFlags{kind: *transportKind, rank: *rankFlag, peers: *peersFlag, rendez: *rendezSec}
 	fopts := fleetOpts{addr: *fleetAddr, publish: *fleetPublish, stride: *fleetStride, hold: *fleetHold}
 	stopCPU := startCPUProfile(*cpuProfile)
@@ -710,6 +820,8 @@ func main() {
 	}
 	defer fw.close()
 	fw.bindAudit(meta.Audit())
+	fw.bindHistory(meta.History())
+	armSlowdown(meta, ropts)
 
 	dof := 0
 	for _, p := range patches {
@@ -858,6 +970,8 @@ func runFromConfig(path string, exchanges int, vtkDir string, parallelism int, t
 	}
 	defer fw.close()
 	fw.bindAudit(b.Meta.Audit())
+	fw.bindHistory(b.Meta.History())
+	armSlowdown(b.Meta, ropts)
 	killed := false
 	onExchange := func(e int) error {
 		attrs := []any{"exchange", e, "max_div", maxDivergence(b.Meta.Patches)}

@@ -1,0 +1,51 @@
+package main
+
+// The perf-report subcommand: offline companion to the performance-history
+// plane. It diffs two runs' history documents (-history-out files, or saved
+// GET /history bodies) into a per-series regression table, gating its exit
+// code on timing series only — step.seconds and the stage.* seconds — so a
+// CI job can fail a build on "the pressure solve got 30% slower" without
+// false-failing on gauges that legitimately moved.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nektarg/internal/history"
+)
+
+// runPerfReport implements `nektarg perf-report old.json new.json`.
+func runPerfReport(args []string) {
+	fs := flag.NewFlagSet("perf-report", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.25, "fractional slowdown of a timing series that counts as a regression (0.25 = +25%)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: nektarg perf-report [-threshold F] old.json new.json\n\n"+
+			"Diffs two performance-history documents (written by -history-out, or a\n"+
+			"saved GET /history body) into a per-series regression table. Each series\n"+
+			"is compared by its whole-run mean; timing series (step.seconds and the\n"+
+			"per-stage seconds) whose mean grew beyond the threshold are marked\n"+
+			"REGRESSION and make the command exit 1.\n\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if fs.NArg() != 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	oldDoc, err := history.LoadDoc(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	newDoc, err := history.LoadDoc(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	rep := history.Compare(oldDoc, newDoc, *threshold)
+	rep.WriteText(os.Stdout)
+	if rep.Regressions > 0 {
+		os.Exit(1)
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"nektarg/internal/audit"
 	"nektarg/internal/dpd"
+	"nektarg/internal/history"
 	"nektarg/internal/nektar1d"
 	"nektarg/internal/nektar3d"
 )
@@ -49,20 +50,30 @@ type Coupled struct {
 	// leak stays on the books after resume. Introduced in format v3; nil
 	// in older bundles and in runs with the audit plane disabled.
 	Audit *audit.State
+	// History holds the performance-history plane — series rings,
+	// downsample tiers and anomaly baselines — so a resumed run keeps its
+	// notion of "normal" step time and CG cost instead of re-learning it
+	// from post-restart samples. Introduced in format v4; nil in older
+	// bundles and in runs with the history plane disabled.
+	History *history.State
 }
 
 // Format versions. v1 predates Networks and the dpd RNG/face-accumulator
-// capture; v2 predates the audit ledger. Load still accepts both (the
-// missing state restores to zero values, the dpd RNG reseeds from
-// Params.Seed, and a fresh ledger re-seeds from the restored physics).
-// Save only writes the current version.
+// capture; v2 predates the audit ledger; v3 predates the performance
+// history. Load still accepts all of them (the missing state restores to
+// zero values, the dpd RNG reseeds from Params.Seed, and fresh audit/history
+// planes re-seed from the restored physics). Save only writes the current
+// version.
 const (
 	// FormatV1 is the legacy format: no 1D networks, no RNG stream state.
 	FormatV1 = 1
 	// FormatV2 added the 1D network states and dpd RNG/accumulator capture.
 	FormatV2 = 2
-	// FormatVersion is the current checkpoint format (v3: audit ledger).
-	FormatVersion = 3
+	// FormatV3 added the physics audit ledger.
+	FormatV3 = 3
+	// FormatVersion is the current checkpoint format (v4: performance
+	// history).
+	FormatVersion = 4
 )
 
 // NewCoupled creates an empty bundle at the current format version.
@@ -95,21 +106,23 @@ func Save(w io.Writer, c *Coupled) error {
 }
 
 // Load reads a bundle written by Save. It accepts the current format and the
-// legacy v1/v2 formats (v1 bundles carry no Networks map and no dpd RNG
-// stream state; v2 bundles carry no audit ledger); anything else — including
-// a zero version, the signature of a bundle that was never initialized — is
-// an error. Maps absent from old streams are materialized empty so callers
-// can range without nil checks; the Audit pointer stays nil for old bundles.
+// legacy v1/v2/v3 formats (v1 bundles carry no Networks map and no dpd RNG
+// stream state; v2 bundles carry no audit ledger; v3 bundles carry no
+// performance history); anything else — including a zero version, the
+// signature of a bundle that was never initialized — is an error. Maps
+// absent from old streams are materialized empty so callers can range
+// without nil checks; the Audit and History pointers stay nil for old
+// bundles.
 func Load(r io.Reader) (*Coupled, error) {
 	var c Coupled
 	if err := gob.NewDecoder(r).Decode(&c); err != nil {
 		return nil, fmt.Errorf("checkpoint: decode: %w", err)
 	}
 	switch c.Version {
-	case FormatVersion, FormatV2, FormatV1:
+	case FormatVersion, FormatV3, FormatV2, FormatV1:
 	default:
-		return nil, fmt.Errorf("checkpoint: format version %d, want %d (or legacy %d/%d)",
-			c.Version, FormatVersion, FormatV2, FormatV1)
+		return nil, fmt.Errorf("checkpoint: format version %d, want %d (or legacy %d/%d/%d)",
+			c.Version, FormatVersion, FormatV3, FormatV2, FormatV1)
 	}
 	if c.Patches == nil {
 		c.Patches = map[string]nektar3d.State{}

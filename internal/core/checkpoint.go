@@ -48,6 +48,10 @@ func (m *Metasolver) CaptureCheckpoint(networks map[string]*nektar1d.Network) *c
 	// baselines, latched severities) stay bit-exact across kill -9; nil
 	// when the audit plane is disabled.
 	c.Audit = m.aud.CaptureState()
+	// So does the performance history: series rings and anomaly baselines
+	// survive restart, so a regression that began before the checkpoint
+	// stays on the books; nil when the history plane is disabled.
+	c.History = m.hist.CaptureState()
 	return c
 }
 
@@ -108,6 +112,10 @@ func (m *Metasolver) RestoreCheckpoint(c *checkpoint.Coupled, networks map[strin
 	// capture carries nil and leaves the live ledger to re-seed its drift
 	// baselines from the restored physics.
 	m.aud.ApplyState(c.Audit)
+	// Same overlay discipline for the performance history: a pre-v4 bundle
+	// or a history-disabled capture carries nil and leaves the live plane
+	// to re-warm its baselines from post-restore samples.
+	m.hist.ApplyState(c.History)
 	return nil
 }
 

@@ -5,10 +5,12 @@ import (
 	"log/slog"
 	"math"
 	"sync"
+	"time"
 
 	"nektarg/internal/audit"
 	"nektarg/internal/dpd"
 	"nektarg/internal/geometry"
+	"nektarg/internal/history"
 	"nektarg/internal/monitor"
 	"nektarg/internal/nektar3d"
 	"nektarg/internal/telemetry"
@@ -169,6 +171,19 @@ type Metasolver struct {
 	// aud is the physics conservation ledger (fed once per exchange); nil
 	// until EnableAudit is called. See audit.go in this package.
 	aud *audit.Ledger
+
+	// hist is the performance-history plane (sampled once per due
+	// exchange); nil until EnableHistory is called. See history.go in this
+	// package.
+	hist *history.Plane
+
+	// SlowAfter/SlowBy inject a deterministic step-time perturbation: from
+	// exchange SlowAfter on, every exchange sleeps SlowBy inside the
+	// meta.step span. It is the fault-injection seam of the performance-
+	// history acceptance tests and cmd/nektarg's -slow-at/-slow-ms demo
+	// flags — wall-clock only, the physics trajectory is untouched.
+	SlowAfter int
+	SlowBy    time.Duration
 }
 
 // NewMetasolver applies the paper's default time-progression ratios.
@@ -287,6 +302,13 @@ func (m *Metasolver) Advance(n int) error {
 		return fmt.Errorf("core: bad time progression %d/%d", m.NSStepsPerExchange, m.DPDStepsPerNS)
 	}
 	for e := 0; e < n; e++ {
+		// The history plane samples the wall time of each due exchange;
+		// timing is gated on the plane so the disabled path never touches
+		// the clock.
+		var histT0 time.Time
+		if m.hist != nil {
+			histT0 = time.Now()
+		}
 		step := m.rec.Begin("meta.step")
 		if err := m.ExchangeInterfaceConditions(); err != nil {
 			step.End()
@@ -325,6 +347,9 @@ func (m *Metasolver) Advance(n int) error {
 		wg.Wait()
 		wait.End()
 		adv.End()
+		if m.SlowAfter > 0 && m.Exchanges >= m.SlowAfter && m.SlowBy > 0 {
+			time.Sleep(m.SlowBy)
+		}
 		step.End()
 		for i, err := range errs {
 			if err != nil {
@@ -335,6 +360,9 @@ func (m *Metasolver) Advance(n int) error {
 			}
 		}
 		m.auditExchange()
+		if m.hist != nil {
+			m.sampleHistory(time.Since(histT0))
+		}
 		m.publishInsitu()
 		if m.log != nil {
 			var t float64

@@ -1,0 +1,6 @@
+//go:build !race
+
+package core
+
+// raceEnabled is false in uninstrumented builds; see race_test.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that the race detector instruments this build; the
+// zero-alloc and timing-budget guards skip then (instrumentation allocates
+// and dilates wall time).
+const raceEnabled = true

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
@@ -23,6 +24,11 @@ type ProcessStatus struct {
 	Snapshots   []*telemetry.Snapshot `json:"snapshots,omitempty"`
 	Verdict     monitor.Verdict       `json:"verdict"`
 	Stats       []monitor.Stat        `json:"stats,omitempty"`
+	// History is the process's compact performance-history document
+	// (series downsampled to fit a publish, plus the anomaly log) as
+	// produced by the monitor's HistorySource; empty when the history
+	// plane is disabled. /cluster/history serves the fleet-wide view.
+	History json.RawMessage `json:"history,omitempty"`
 }
 
 // ProcessVerdict is one process's entry in the cluster verdict.

@@ -53,6 +53,7 @@ const (
 	EventRunComplete      = "run-complete"      // the supervisor finished all exchanges
 	EventRunFailed        = "run-failed"        // the supervisor gave up (restart budget exhausted)
 	EventAuditViolation   = "audit-violation"   // a physics audit budget latched a new severity
+	EventPerfAnomaly      = "perf-anomaly"      // the history plane detected a performance regression
 )
 
 // Event is one journal record. Fields is free-form but small; Go's JSON

@@ -93,7 +93,7 @@ func (p *Publisher) Status() ProcessStatus {
 	if p == nil {
 		return ProcessStatus{}
 	}
-	return ProcessStatus{
+	st := ProcessStatus{
 		Proc:        p.proc,
 		Ranks:       append([]int(nil), p.ranks...),
 		Incarnation: p.incarnation(),
@@ -103,6 +103,15 @@ func (p *Publisher) Status() ProcessStatus {
 		Verdict:     p.mon.Health().Verdict(),
 		Stats:       p.mon.Stats(),
 	}
+	// Embed a compact history document (auto-tiered, newest 64 points per
+	// series) when the history plane is wired, so /cluster/history can show
+	// fleet-wide step-time and anomaly state without scraping each process.
+	if hs := p.mon.HistorySource(); hs != nil {
+		if doc, err := hs.HistoryJSON("", -1, 64); err == nil && json.Valid(doc) {
+			st.History = doc
+		}
+	}
+	return st
 }
 
 // PublishNow builds and POSTs one ProcessStatus. Network errors are returned

@@ -247,6 +247,9 @@ func WriteClusterMetrics(w io.Writer, namespace string, v ClusterVerdict, sts []
 //	GET  /cluster/metrics   Prometheus exposition: per-process + rollup series
 //	GET  /cluster/healthz   cluster verdict JSON; 503 while latched/unhealthy
 //	GET  /cluster/imbalance cross-process straggler attribution (text table)
+//	GET  /cluster/history   per-process performance-history documents keyed
+//	                        by proc id (JSON; processes without a history
+//	                        plane are omitted)
 //	POST /cluster/publish   ProcessStatus JSON ingest (what Publisher sends)
 //	GET  /events            the run-event journal as JSON (404 without one)
 //
@@ -263,7 +266,7 @@ func (a *Aggregator) Handler(namespace string, j *Journal) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "nektarg fleet aggregator\n\nGET  /cluster/metrics\nGET  /cluster/healthz\nGET  /cluster/imbalance\nPOST /cluster/publish\nGET  /events\n")
+		fmt.Fprintf(w, "nektarg fleet aggregator\n\nGET  /cluster/metrics\nGET  /cluster/healthz\nGET  /cluster/imbalance\nGET  /cluster/history\nPOST /cluster/publish\nGET  /events\n")
 	})
 	mux.HandleFunc("/cluster/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -283,6 +286,21 @@ func (a *Aggregator) Handler(namespace string, j *Journal) http.Handler {
 	mux.HandleFunc("/cluster/imbalance", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, monitor.FormatImbalanceTable(a.Imbalance()))
+	})
+	mux.HandleFunc("/cluster/history", func(w http.ResponseWriter, r *http.Request) {
+		// {proc: historyDoc, ...} — processes that published without a
+		// history plane are omitted rather than mapped to null, so the body
+		// is exactly the fleet's available history.
+		out := map[string]json.RawMessage{}
+		for _, st := range a.Statuses() {
+			if len(st.History) > 0 {
+				out[st.Proc] = st.History
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out) //nolint:errcheck // client went away
 	})
 	mux.HandleFunc("/cluster/publish", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {

@@ -1,0 +1,144 @@
+package history
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// perf-report: diff two runs' history documents (-history-out files, or a
+// saved GET /history body) into a per-stage regression table. The currency
+// is each series' whole-run mean — the Summary aggregate that never loses
+// samples to ring wrap — so the comparison is between runs, not between
+// whichever windows happened to survive.
+//
+// Only timing series (step.seconds and the stage.* seconds) gate the exit
+// code: a gauge that moved (more particles, more traffic) is information,
+// not automatically a regression, but a stage that got slower is exactly
+// what the table exists to catch.
+
+// Row is one series' old-vs-new comparison.
+type Row struct {
+	Name       string  `json:"name"`
+	Kind       Kind    `json:"kind"`
+	OldMean    float64 `json:"old_mean"`
+	NewMean    float64 `json:"new_mean"`
+	Delta      float64 `json:"delta"` // fractional: new/old - 1
+	Timing     bool    `json:"timing"`
+	Regression bool    `json:"regression"`
+}
+
+// Report is the full diff of two history documents.
+type Report struct {
+	Threshold    float64  `json:"threshold"`
+	Rows         []Row    `json:"rows"`
+	OldOnly      []string `json:"old_only,omitempty"`
+	NewOnly      []string `json:"new_only,omitempty"`
+	Regressions  int      `json:"regressions"`
+	OldAnomalies int64    `json:"old_anomalies"`
+	NewAnomalies int64    `json:"new_anomalies"`
+}
+
+// LoadDoc reads one history document from disk.
+func LoadDoc(path string) (*Doc, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Doc
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, fmt.Errorf("history: %s: %w", path, err)
+	}
+	return &d, nil
+}
+
+// isTiming reports whether a series carries seconds (the exit-code-gating
+// class).
+func isTiming(name string) bool {
+	return name == seriesStepSeconds ||
+		(strings.HasPrefix(name, "stage.") && strings.HasSuffix(name, ".seconds"))
+}
+
+// Compare diffs two documents. A timing series whose mean grew by more than
+// threshold (fractional, e.g. 0.25 = +25%) is marked a regression.
+func Compare(oldDoc, newDoc *Doc, threshold float64) *Report {
+	r := &Report{Threshold: threshold}
+	newByName := map[string]SeriesJSON{}
+	for _, s := range newDoc.Series {
+		newByName[s.Name] = s
+	}
+	seen := map[string]bool{}
+	for _, o := range oldDoc.Series {
+		seen[o.Name] = true
+		n, ok := newByName[o.Name]
+		if !ok {
+			r.OldOnly = append(r.OldOnly, o.Name)
+			continue
+		}
+		row := Row{
+			Name: o.Name, Kind: o.Kind,
+			OldMean: o.Mean, NewMean: n.Mean,
+			Timing: isTiming(o.Name),
+		}
+		if o.Mean > 0 {
+			row.Delta = n.Mean/o.Mean - 1
+			row.Regression = row.Timing && row.Delta > threshold
+		}
+		if row.Regression {
+			r.Regressions++
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	for _, s := range newDoc.Series {
+		if !seen[s.Name] {
+			r.NewOnly = append(r.NewOnly, s.Name)
+		}
+	}
+	sort.Slice(r.Rows, func(i, j int) bool {
+		// Timing rows first (they gate), worst delta on top within a class.
+		if r.Rows[i].Timing != r.Rows[j].Timing {
+			return r.Rows[i].Timing
+		}
+		if r.Rows[i].Delta != r.Rows[j].Delta {
+			return r.Rows[i].Delta > r.Rows[j].Delta
+		}
+		return r.Rows[i].Name < r.Rows[j].Name
+	})
+	sort.Strings(r.OldOnly)
+	sort.Strings(r.NewOnly)
+	r.OldAnomalies = oldDoc.AnomalyTotal
+	r.NewAnomalies = newDoc.AnomalyTotal
+	return r
+}
+
+// WriteText renders the regression table.
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "%-52s %-15s %14s %14s %8s\n", "series (mean per sample)", "kind", "old", "new", "delta")
+	for _, row := range r.Rows {
+		mark := ""
+		if row.Regression {
+			mark = "  << REGRESSION"
+		}
+		delta := "n/a"
+		if row.OldMean > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*row.Delta)
+		}
+		fmt.Fprintf(w, "%-52s %-15s %14.6g %14.6g %8s%s\n",
+			row.Name, row.Kind, row.OldMean, row.NewMean, delta, mark)
+	}
+	for _, n := range r.OldOnly {
+		fmt.Fprintf(w, "%-52s (only in old run)\n", n)
+	}
+	for _, n := range r.NewOnly {
+		fmt.Fprintf(w, "%-52s (only in new run)\n", n)
+	}
+	fmt.Fprintf(w, "\nanomalies: old %d, new %d\n", r.OldAnomalies, r.NewAnomalies)
+	if r.Regressions > 0 {
+		fmt.Fprintf(w, "%d timing regression(s) beyond +%.0f%%\n", r.Regressions, 100*r.Threshold)
+	} else {
+		fmt.Fprintln(w, "no timing regressions")
+	}
+}

@@ -20,6 +20,14 @@ const DefaultFlightSpans = 256
 // disk with near-identical dumps.
 const DefaultFlightLimit = 3
 
+// DefaultAnomalyFlightLimit bounds performance-anomaly-triggered dumps
+// (DumpAnomaly). It is a separate budget from DefaultFlightLimit on
+// purpose: performance anomalies are expected to fire on long healthy runs
+// (that is the history plane doing its job), and letting them draw down the
+// shared cap would leave nothing for the dump that matters most — the
+// watchdog trip or rank panic at the end (-flight-max starvation).
+const DefaultAnomalyFlightLimit = 2
+
 // FlightTrack is one track's black-box excerpt: the last spans from the
 // telemetry ring plus the full gauge and stage aggregates at dump time.
 type FlightTrack struct {
@@ -56,15 +64,17 @@ type FlightDump struct {
 // FlightRecorder dumps the observability black box on watchdog trips and
 // rank panics. Safe for concurrent use; a nil recorder ignores every call.
 type FlightRecorder struct {
-	mu       sync.Mutex
-	dir      string
-	maxSpans int
-	limit    int
-	dumps    []string
-	source   func() []*telemetry.Recorder
-	health   *Health
-	insitu   func() ([]byte, error) // in-situ meta source; nil = omit
-	now      func() time.Time       // test seam
+	mu           sync.Mutex
+	dir          string
+	maxSpans     int
+	limit        int
+	dumps        []string
+	anomalyLimit int
+	anomalyDumps []string
+	source       func() []*telemetry.Recorder
+	health       *Health
+	insitu       func() ([]byte, error) // in-situ meta source; nil = omit
+	now          func() time.Time       // test seam
 
 	incarnation int                       // stamped into dumps; see SetRunLabels
 	transport   string                    // transport kind ("local", "tcp", ...)
@@ -79,7 +89,8 @@ func NewFlightRecorder(dir string, source func() []*telemetry.Recorder, health *
 	}
 	return &FlightRecorder{
 		dir: dir, maxSpans: DefaultFlightSpans, limit: DefaultFlightLimit,
-		source: source, health: health, now: time.Now,
+		anomalyLimit: DefaultAnomalyFlightLimit,
+		source:       source, health: health, now: time.Now,
 	}
 }
 
@@ -112,6 +123,28 @@ func (f *FlightRecorder) Limit() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.limit
+}
+
+// SetAnomalyLimit overrides the per-run cap on anomaly-triggered dumps
+// (default DefaultAnomalyFlightLimit). cmd/nektarg exposes it as
+// -flight-anomaly-max.
+func (f *FlightRecorder) SetAnomalyLimit(n int) {
+	if f == nil || n < 1 {
+		return
+	}
+	f.mu.Lock()
+	f.anomalyLimit = n
+	f.mu.Unlock()
+}
+
+// AnomalyLimit returns the per-run anomaly dump cap.
+func (f *FlightRecorder) AnomalyLimit() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.anomalyLimit
 }
 
 // SetInsituSource wires an in-situ metadata provider (the observer's
@@ -150,7 +183,8 @@ func (f *FlightRecorder) OnDump(fn func(path, reason string)) {
 	f.mu.Unlock()
 }
 
-// Dumps returns the paths written so far.
+// Dumps returns the paths written so far against the shared budget
+// (watchdog trips, panics, manual dumps).
 func (f *FlightRecorder) Dumps() []string {
 	if f == nil {
 		return nil
@@ -160,16 +194,43 @@ func (f *FlightRecorder) Dumps() []string {
 	return append([]string(nil), f.dumps...)
 }
 
+// AnomalyDumps returns the paths written so far against the anomaly budget.
+func (f *FlightRecorder) AnomalyDumps() []string {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.anomalyDumps...)
+}
+
 // Dump writes one flight-*.json capturing every track's recent events, gauge
 // values and the health history. trip may be nil (manual dump, rank panic).
 // Returns the written path; once the per-run dump limit is reached it returns
 // "" with no error.
 func (f *FlightRecorder) Dump(reason string, trip *Event) (string, error) {
+	return f.dump(reason, trip, false)
+}
+
+// DumpAnomaly writes a flight dump charged to the separate performance-
+// anomaly budget (SetAnomalyLimit), so anomaly captures never starve the
+// watchdog/panic dumps of the shared cap. The history plane's OnAnomaly
+// hook is the caller.
+func (f *FlightRecorder) DumpAnomaly(reason string) (string, error) {
+	return f.dump(reason, nil, true)
+}
+
+func (f *FlightRecorder) dump(reason string, trip *Event, anomaly bool) (string, error) {
 	if f == nil {
 		return "", nil
 	}
 	f.mu.Lock()
-	if len(f.dumps) >= f.limit {
+	if anomaly {
+		if len(f.anomalyDumps) >= f.anomalyLimit {
+			f.mu.Unlock()
+			return "", nil
+		}
+	} else if len(f.dumps) >= f.limit {
 		f.mu.Unlock()
 		return "", nil
 	}
@@ -236,7 +297,11 @@ func (f *FlightRecorder) Dump(reason string, trip *Event) (string, error) {
 		return "", fmt.Errorf("monitor: flight dump: %w", err)
 	}
 	f.mu.Lock()
-	f.dumps = append(f.dumps, path)
+	if anomaly {
+		f.anomalyDumps = append(f.anomalyDumps, path)
+	} else {
+		f.dumps = append(f.dumps, path)
+	}
 	f.mu.Unlock()
 	if onDump != nil {
 		onDump(path, reason)

@@ -1,0 +1,144 @@
+package monitor
+
+// Monitor-side tests for the performance-history plane wiring: the Go
+// runtime gauges every monitor exposes, the /history and /anomalies routes
+// behind the HistorySource seam, and the anomaly flight-dump budget being
+// independent of the shared watchdog/panic budget.
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"nektarg/internal/telemetry"
+)
+
+// TestRuntimeGaugesInMetrics: every monitor serves the Go runtime's health
+// gauges on /metrics without any producer wiring — the "is the process
+// itself degrading?" half of a slow-run diagnosis.
+func TestRuntimeGaugesInMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.NewRecorder("rank0").RecordSpan("s", 0, time.Millisecond, 0, 0)
+	m := New(reg, Options{FlightDir: t.TempDir()})
+	srv, err := m.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close() //nolint:errcheck // test cleanup
+	body := httpGetBody(t, srv.URL()+"/metrics")
+	for _, want := range []string{
+		"go_heap_alloc_bytes",
+		"go_gc_pause_seconds_total",
+		"go_goroutines",
+		"process_uptime_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("GET /metrics missing runtime gauge %q", want)
+		}
+	}
+}
+
+// fakeHistory is a stub HistorySource pinning the monitor's pass-through of
+// query parameters and bodies.
+type fakeHistory struct {
+	prefix    string
+	tier, max int
+}
+
+func (f *fakeHistory) HistoryJSON(prefix string, tier, maxPoints int) ([]byte, error) {
+	f.prefix, f.tier, f.max = prefix, tier, maxPoints
+	return []byte(`{"series":[]}`), nil
+}
+
+func (f *fakeHistory) AnomaliesJSON() ([]byte, error) {
+	return []byte(`{"total":0}`), nil
+}
+
+// TestHistoryEndpoints: /history and /anomalies 404 until a source is wired,
+// then serve its documents with the query parameters passed through.
+func TestHistoryEndpoints(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := New(reg, Options{FlightDir: t.TempDir()})
+	srv, err := m.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close() //nolint:errcheck // test cleanup
+
+	for _, path := range []string{"/history", "/anomalies"} {
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close() //nolint:errcheck // test cleanup
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s without a source = %d, want 404", path, resp.StatusCode)
+		}
+	}
+
+	src := &fakeHistory{}
+	m.SetHistorySource(src)
+	if body := httpGetBody(t, srv.URL()+"/history?series=stage.&tier=2&max=32"); body != `{"series":[]}` {
+		t.Fatalf("GET /history body = %q", body)
+	}
+	if src.prefix != "stage." || src.tier != 2 || src.max != 32 {
+		t.Fatalf("query pass-through = %+v, want stage./2/32", src)
+	}
+	if body := httpGetBody(t, srv.URL()+"/anomalies"); body != `{"total":0}` {
+		t.Fatalf("GET /anomalies body = %q", body)
+	}
+}
+
+// TestAnomalyDumpBudgetIndependent: performance-anomaly flight dumps draw on
+// their own cap, so an anomaly cascade can never starve the dump that
+// matters most — the watchdog trip or rank panic at the end of the run.
+func TestAnomalyDumpBudgetIndependent(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.NewRecorder("rank0").RecordSpan("s", 0, time.Millisecond, 0, 0)
+	m := New(reg, Options{FlightDir: t.TempDir(), FlightAnomalyLimit: 2})
+	f := m.Flight()
+	if f.AnomalyLimit() != 2 || f.Limit() != DefaultFlightLimit {
+		t.Fatalf("limits = %d/%d, want 2 anomaly, %d shared", f.AnomalyLimit(), f.Limit(), DefaultFlightLimit)
+	}
+
+	// Exhaust the shared budget first — anomaly dumps must still land.
+	for i := 0; i < DefaultFlightLimit; i++ {
+		if path, err := f.Dump("manual", nil); err != nil || path == "" {
+			t.Fatalf("shared dump %d: path=%q err=%v", i, path, err)
+		}
+	}
+	if path, _ := f.Dump("manual", nil); path != "" {
+		t.Fatal("shared budget not exhausted")
+	}
+	for i := 0; i < 2; i++ {
+		if path, err := f.DumpAnomaly("perf-anomaly step-time"); err != nil || path == "" {
+			t.Fatalf("anomaly dump %d with exhausted shared budget: path=%q err=%v", i, path, err)
+		}
+	}
+	// And the anomaly cap itself still bites.
+	if path, err := f.DumpAnomaly("perf-anomaly step-time"); err != nil || path != "" {
+		t.Fatalf("anomaly dump past its cap: path=%q err=%v, want silent refusal", path, err)
+	}
+	if n, a := len(f.Dumps()), len(f.AnomalyDumps()); n != DefaultFlightLimit || a != 2 {
+		t.Fatalf("dump ledgers = %d shared / %d anomaly, want %d/2", n, a, DefaultFlightLimit)
+	}
+}
+
+func httpGetBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //nolint:errcheck // test cleanup
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, b)
+	}
+	return string(b)
+}

@@ -43,6 +43,11 @@ type Options struct {
 	// FlightLimit caps how many dumps one run may write
 	// (default DefaultFlightLimit; cmd/nektarg's -flight-max).
 	FlightLimit int
+	// FlightAnomalyLimit caps performance-anomaly-triggered dumps, a budget
+	// separate from FlightLimit so an anomaly cascade cannot starve the
+	// watchdog/panic dumps — or vice versa (default
+	// DefaultAnomalyFlightLimit; cmd/nektarg's -flight-anomaly-max).
+	FlightAnomalyLimit int
 }
 
 // SnapshotSource is the in-situ observation surface the monitor serves: the
@@ -70,6 +75,20 @@ type AuditSource interface {
 	WriteJSON(w io.Writer) error
 }
 
+// HistorySource is the performance-history surface the monitor serves on
+// GET /history and GET /anomalies: the history package's Plane satisfies it
+// structurally (history imports monitor for the Stat bridge, so the
+// interface breaks the cycle the same way AuditSource does for audit).
+type HistorySource interface {
+	// HistoryJSON renders the time-series document. prefix filters series
+	// by name prefix, tier selects the downsample level (negative =
+	// auto-fit), maxPoints truncates each series to its newest N entries
+	// (0 = unlimited).
+	HistoryJSON(prefix string, tier, maxPoints int) ([]byte, error)
+	// AnomaliesJSON renders the detected-anomaly log with per-kind totals.
+	AnomaliesJSON() ([]byte, error)
+}
+
 // Monitor bundles the health state, flight recorder and snapshot source
 // behind one HTTP surface. Create with New; all methods are safe for
 // concurrent use.
@@ -85,6 +104,7 @@ type Monitor struct {
 	stats []func() []Stat                // extra metric sources (transport counters, ...)
 	snap  SnapshotSource                 // in-situ observation surface; nil = 404
 	audit AuditSource                    // physics audit surface; nil = 404
+	hist  HistorySource                  // performance history surface; nil = 404
 }
 
 // New builds a monitor over a telemetry registry. The registry supplies the
@@ -101,10 +121,16 @@ func New(reg *telemetry.Registry, opts Options) *Monitor {
 	if opts.FlightLimit > 0 {
 		m.flight.SetLimit(opts.FlightLimit)
 	}
+	if opts.FlightAnomalyLimit > 0 {
+		m.flight.SetAnomalyLimit(opts.FlightAnomalyLimit)
+	}
 	m.health.OnTrip(func(e Event) {
 		ev := e
 		m.flight.Dump("watchdog:"+e.Watchdog, &ev) //nolint:errcheck // best-effort black box
 	})
+	// Go runtime gauges ride into /metrics and the fleet publish alongside
+	// any producer-registered stats (see runtime.go).
+	m.AddStatSource(func() []Stat { return runtimeStats(m.start) })
 	return m
 }
 
@@ -170,6 +196,28 @@ func (m *Monitor) auditSource() AuditSource {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.audit
+}
+
+// SetHistorySource wires the performance-history surface: GET /history and
+// GET /anomalies start serving. nil detaches it again.
+func (m *Monitor) SetHistorySource(src HistorySource) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.hist = src
+	m.mu.Unlock()
+}
+
+// HistorySource returns the wired performance-history surface, if any (the
+// fleet publisher embeds its compact document into each status publish).
+func (m *Monitor) HistorySource() HistorySource {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hist
 }
 
 // AddSource registers an extra recorder source (e.g. per-rank recorders that

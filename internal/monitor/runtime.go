@@ -1,0 +1,44 @@
+package monitor
+
+import (
+	"runtime"
+	"time"
+)
+
+// runtimeStats surfaces the Go runtime's health gauges into /metrics (and,
+// via the fleet publisher, into the cluster rollup): live heap, cumulative
+// GC pause, goroutine count and process uptime. They answer the "is the
+// process itself degrading?" half of a slow-run diagnosis — a solver whose
+// step time creeps up while heap and GC pause creep with it is leaking, not
+// load-imbalanced — and the performance-history plane samples the same
+// signals for its GC/alloc-growth anomaly baseline.
+//
+// Monitor.New registers this as a stat source, so every monitor exposes
+// them without producer wiring. ReadMemStats costs a brief stop-the-world
+// handshake (microseconds); it runs once per scrape, not per step.
+func runtimeStats(start time.Time) []Stat {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return []Stat{
+		{
+			Name: "go_heap_alloc_bytes",
+			Help: "Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+			Type: "gauge", Value: float64(ms.HeapAlloc),
+		},
+		{
+			Name: "go_gc_pause_seconds_total",
+			Help: "Cumulative GC stop-the-world pause time.",
+			Type: "counter", Value: float64(ms.PauseTotalNs) / 1e9,
+		},
+		{
+			Name: "go_goroutines",
+			Help: "Live goroutine count.",
+			Type: "gauge", Value: float64(runtime.NumGoroutine()),
+		},
+		{
+			Name: "process_uptime_seconds",
+			Help: "Seconds since the monitor was created.",
+			Type: "gauge", Value: time.Since(start).Seconds(),
+		},
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 )
 
@@ -24,6 +25,12 @@ import (
 //	GET  /snapshot/vtk  latest assembled frame as concatenated legacy VTK
 //	                  documents, one per piece, split on "# === insitu piece"
 //	                  banners
+//	GET  /history     performance-history time series (JSON; query params
+//	                  series= name-prefix filter, tier= downsample level,
+//	                  max= newest-N truncation; 404 until a history source
+//	                  is wired)
+//	GET  /anomalies   detected performance anomalies with per-kind totals
+//	                  (JSON; 404 until a history source is wired)
 //	GET  /buildinfo   binary provenance (module version, VCS revision, toolchain)
 //	POST /flight      trigger a manual flight dump; returns the path
 //	GET  /debug/pprof/*  live profiling (pprof index, profile, trace, ...)
@@ -35,7 +42,7 @@ func (m *Monitor) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "nektarg monitor\n\nGET  /metrics\nGET  /healthz\nGET  /audit\nGET  /imbalance\nGET  /snapshot\nGET  /snapshot/vtk\nGET  /buildinfo\nPOST /flight\nGET  /debug/pprof/\n")
+		fmt.Fprintf(w, "nektarg monitor\n\nGET  /metrics\nGET  /healthz\nGET  /audit\nGET  /imbalance\nGET  /history\nGET  /anomalies\nGET  /snapshot\nGET  /snapshot/vtk\nGET  /buildinfo\nPOST /flight\nGET  /debug/pprof/\n")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -65,6 +72,37 @@ func (m *Monitor) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		src.WriteJSON(w) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/history", func(w http.ResponseWriter, r *http.Request) {
+		src := m.HistorySource()
+		if src == nil {
+			http.Error(w, "no history plane wired (run without -history?)", http.StatusNotFound)
+			return
+		}
+		q := r.URL.Query()
+		tier := queryInt(q.Get("tier"), -1)
+		max := queryInt(q.Get("max"), 512)
+		doc, err := src.HistoryJSON(q.Get("series"), tier, max)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(doc) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/anomalies", func(w http.ResponseWriter, r *http.Request) {
+		src := m.HistorySource()
+		if src == nil {
+			http.Error(w, "no history plane wired (run without -history?)", http.StatusNotFound)
+			return
+		}
+		doc, err := src.AnomaliesJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(doc) //nolint:errcheck // client went away
 	})
 	mux.HandleFunc("/imbalance", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -128,6 +166,19 @@ func (m *Monitor) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// queryInt parses an optional integer query parameter, falling back to def
+// on absence or garbage.
+func queryInt(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return def
+	}
+	return n
 }
 
 // Server is a running monitor HTTP endpoint.

@@ -553,6 +553,47 @@ func (r *Recorder) ResetCounters() {
 	r.dropped = 0
 }
 
+// VisitStages calls fn for every stage aggregate under the recorder's lock
+// (values are copies; iteration order is unspecified). It exists for the
+// history sampler, which reads every aggregate once per exchange and must
+// not pay Snapshot's two map allocations each time. fn must not call back
+// into the recorder.
+func (r *Recorder) VisitStages(fn func(name string, s StageStats)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, s := range r.stage {
+		fn(name, *s)
+	}
+}
+
+// VisitGauges calls fn for every gauge aggregate under the recorder's lock
+// (values are copies; iteration order is unspecified). fn must not call
+// back into the recorder.
+func (r *Recorder) VisitGauges(fn func(name string, g GaugeStats)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, g := range r.gauge {
+		fn(name, *g)
+	}
+}
+
+// TrafficTotals returns the whole-matrix message/byte totals without
+// copying the matrix.
+func (r *Recorder) TrafficTotals() Traffic {
+	if r == nil {
+		return Traffic{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.traffic.Total()
+}
+
 // Snapshot captures the recorder's aggregates (deep copy, safe to ship
 // through the mpi runtime or mutate).
 func (r *Recorder) Snapshot() *Snapshot {

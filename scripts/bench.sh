@@ -7,8 +7,8 @@
 # OUT=..., used by make bench-compare): a single JSON document with the
 # scaling tables (as emitted by `go run ./cmd/scaling -json`) plus raw
 # `go test -bench` transcripts for the comm, telemetry, monitor, checkpoint,
-# in-situ, transport, cluster observability, physics-audit and hot-path
-# kernel suites.
+# in-situ, transport, cluster observability, physics-audit, hot-path kernel
+# and performance-history suites.
 #
 # Usage: scripts/bench.sh   (or: make bench-telemetry)
 set -eu
@@ -58,12 +58,16 @@ kernels=$(go test -run '^$' -bench 'BenchmarkKernel' -benchmem \
 	./internal/nektar3d ./internal/linalg ./internal/dpd 2>&1)
 printf '%s\n' "$kernels"
 
+echo "== history benchmarks (per-exchange sampling cost, disabled hook; disabled path must report 0 allocs/op) =="
+history=$(go test -run '^$' -bench 'BenchmarkSampleExchange|BenchmarkObserve|BenchmarkHistoryDisabled' -benchmem ./internal/history 2>&1)
+printf '%s\n' "$history"
+
 echo "== scaling tables (cmd/scaling -json) =="
 tables=$(go run ./cmd/scaling -json)
 
 # Assemble the bundle without extra tooling: the bench transcripts are
 # embedded as JSON string arrays (one element per line) via go run so we
 # need no jq/python in the container.
-COMM="$comm" TELE="$tele" MONITOR="$mon" CKPT="$ckpt" INSITU="$insitu" TRANSPORT="$transport" CLUSTER="$cluster" AUDIT="$audit" KERNELS="$kernels" TABLES="$tables" go run ./scripts/benchjson >"$out"
+COMM="$comm" TELE="$tele" MONITOR="$mon" CKPT="$ckpt" INSITU="$insitu" TRANSPORT="$transport" CLUSTER="$cluster" AUDIT="$audit" KERNELS="$kernels" HISTORY="$history" TABLES="$tables" go run ./scripts/benchjson >"$out"
 
 echo "wrote $out"

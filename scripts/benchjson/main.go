@@ -1,11 +1,11 @@
 // Benchjson assembles and compares BENCH_telemetry.json bundles.
 //
 // Bundle mode (default, used by scripts/bench.sh): reads the comm,
-// telemetry, monitor, checkpoint, insitu, transport, cluster, audit and
-// kernels benchmark transcripts plus the scaling tables from the COMM,
-// TELE, MONITOR, CKPT, INSITU, TRANSPORT, CLUSTER, AUDIT, KERNELS and
-// TABLES environment variables and emits one indented JSON document on
-// stdout.
+// telemetry, monitor, checkpoint, insitu, transport, cluster, audit,
+// kernels and history benchmark transcripts plus the scaling tables from
+// the COMM, TELE, MONITOR, CKPT, INSITU, TRANSPORT, CLUSTER, AUDIT,
+// KERNELS, HISTORY and TABLES environment variables and emits one indented
+// JSON document on stdout.
 // Bench transcripts are parsed into structured {name, value, unit} samples
 // (standard `go test -bench` line format) with the raw lines preserved
 // alongside.
@@ -76,7 +76,7 @@ func parseBench(out string) (lines []string, samples []Sample) {
 }
 
 // sections is the stable order of bench transcript sections in a bundle.
-var sections = []string{"comm", "telemetry", "monitor", "checkpoint", "insitu", "transport", "cluster", "audit", "kernels"}
+var sections = []string{"comm", "telemetry", "monitor", "checkpoint", "insitu", "transport", "cluster", "audit", "kernels", "history"}
 
 func bundle() {
 	env := map[string]string{
@@ -89,6 +89,7 @@ func bundle() {
 		"cluster":    "CLUSTER",
 		"audit":      "AUDIT",
 		"kernels":    "KERNELS",
+		"history":    "HISTORY",
 	}
 	doc := map[string]any{}
 	for _, sec := range sections {

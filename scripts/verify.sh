@@ -9,7 +9,7 @@ set -eux
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/mpi/... ./internal/mci/... ./internal/core/... ./internal/telemetry/... ./internal/monitor/... ./internal/checkpoint/... ./internal/insitu/... ./internal/fleet/... ./internal/audit/...
+go test -race ./internal/mpi/... ./internal/mci/... ./internal/core/... ./internal/telemetry/... ./internal/monitor/... ./internal/checkpoint/... ./internal/insitu/... ./internal/fleet/... ./internal/audit/... ./internal/history/...
 
 # Zero-cost-when-disabled guards: instrumentation on a nil recorder and
 # watchdog probes on a nil bundle must allocate nothing and stay within a few
@@ -19,6 +19,7 @@ go test -run TestMonitorDisabledZeroCost -count=1 ./internal/monitor
 go test -run TestInsituDisabledZeroCost -count=1 ./internal/core
 go test -run TestFleetDisabledZeroCost -count=1 ./internal/fleet
 go test -run TestAuditDisabledZeroCost -count=1 ./internal/audit
+go test -run TestHistoryDisabledZeroCost -count=1 ./internal/core
 
 # Fault-injection smoke: a rank killed mid-run by the deterministic fault
 # harness must dump flight telemetry, resume from the last good checkpoint
@@ -77,3 +78,18 @@ go test -run 'TestSolverStepZeroAllocSteadyState|TestApplyStiffnessZeroAlloc' -c
 go test -run 'TestVVStepZeroAllocSteadyState' -count=1 ./internal/dpd
 go test -run 'TestCGWithZeroAlloc' -count=1 ./internal/linalg
 go test -run 'TestPoolRunZeroAlloc' -count=1 ./internal/work
+
+# Performance-history acceptance (PR 10). A deterministic mid-run slowdown
+# (the -slow-at injection hook) must fire exactly one typed step-time anomaly
+# — with an auto-captured pprof profile, an anomaly flight dump on its own
+# budget and a perf-anomaly journal event, all visible on /anomalies,
+# /history and /cluster/history — while the unperturbed control run stays
+# silent; series rings and baselines must survive a checkpoint round-trip
+# bit-identically; and the sampling overhead stays under 1% of step time
+# (the overhead and zero-alloc guards skip themselves under -race, so they
+# run uninstrumented here).
+go test -race -run 'TestHistoryControlRunNoAnomalies|TestHistoryInducedSlowdownEndToEnd|TestHistoryResumeContinuity' -count=1 ./internal/core
+go test -run 'TestHistorySamplingOverhead' -count=1 ./internal/core
+go test -run 'TestRingBoundsAndOrder|TestTierEnvelopeConservation|TestDetectorSustainedStepChangeFiresOnce|TestStateRoundTrip' -count=1 ./internal/history
+go test -run 'TestAnomalyDumpBudgetIndependent|TestRuntimeGaugesInMetrics' -count=1 ./internal/monitor
+go test -run 'TestClusterHistoryRollup' -count=1 ./internal/fleet
